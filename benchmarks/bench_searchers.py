@@ -1,0 +1,132 @@
+"""Experiment E8 — the search-algorithm family the paper builds on.
+
+Mighty's searcher descends from Lee (1961) through Hightower's line probe
+(1969) and Soukup's fast maze router (1978).  This bench reproduces the
+published trade-offs on identical queries:
+
+* Lee / A*: complete and shortest; A* touches fewer cells (the heuristic);
+* Soukup: complete, not shortest, far fewer cells in open fields;
+* line probe: fastest and smallest memory, but *incomplete* — it misses
+  reachable targets in cluttered fields.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.maze import CostModel, find_path, lee_route, line_probe, soukup_route
+from repro.maze.soukup import cells_expanded_ratio
+
+
+def _fields():
+    rng = np.random.default_rng(1986)
+    fields = {"open": np.ones((40, 40), dtype=bool)}
+    cluttered = rng.random((40, 40)) > 0.25
+    cluttered[0, 0] = cluttered[39, 39] = True
+    fields["cluttered-25%"] = cluttered
+    walls = np.ones((40, 40), dtype=bool)
+    for x in range(5, 35, 6):
+        walls[5:38, x] = False
+        walls[2:35, x + 3] = False
+    fields["serpentine"] = walls
+    return fields
+
+
+@lru_cache(maxsize=1)
+def _rows() -> List[List[object]]:
+    rows: List[List[object]] = []
+    start, goal = Point(0, 0), Point(39, 39)
+    for name, mask in _fields().items():
+        # Lee / A* on a single-layer equivalent: block layer 1 entirely so
+        # the two-layer machinery degrades to the same single-layer query.
+        grid = RoutingGrid(40, 40)
+        for y in range(40):
+            for x in range(40):
+                if not mask[y, x] and (x, y) not in ((0, 0), (39, 39)):
+                    grid.set_obstacle(x, y, None)
+        lee = lee_route(grid, 1, [(0, 0, 0)], [(39, 39, 0)])
+        astar = find_path(
+            grid, 1, [(0, 0, 0)], [(39, 39, 0)], cost=CostModel.uniform()
+        )
+        soukup_stats: dict = {}
+        soukup = soukup_route(mask, start, goal, stats=soukup_stats)
+        probe = line_probe(mask, start, goal)
+        bfs_reachable = lee is not None
+        rows.append(
+            [
+                name,
+                "yes" if lee is not None else "no",
+                len(lee) - 1 if lee else "-",
+                "yes" if astar.found else "no",
+                astar.expansions,
+                "yes" if soukup is not None else "no",
+                soukup_stats.get("cells", "-"),
+                "yes" if probe is not None else "no",
+                "-" if probe is None else len(probe) - 1,
+                "yes" if bfs_reachable else "no",
+            ]
+        )
+    return rows
+
+
+def test_searcher_family(benchmark):
+    mask = _fields()["open"]
+
+    def kernel():
+        return soukup_route(mask, Point(0, 0), Point(39, 39))
+
+    path = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert path is not None
+
+    rows = _rows()
+    emit(
+        format_table(
+            [
+                "field",
+                "lee",
+                "lee len",
+                "a*",
+                "a* expansions",
+                "soukup",
+                "soukup cells",
+                "probe",
+                "probe corners",
+                "reachable",
+            ],
+            rows,
+            title="Table E8 — the searcher family on identical queries",
+        )
+    )
+    for row in rows:
+        reachable = row[9] == "yes"
+        # completeness contracts
+        assert (row[1] == "yes") == reachable          # Lee complete
+        assert (row[3] == "yes") == reachable          # A* complete
+        assert (row[5] == "yes") == reachable          # Soukup complete
+        # line probe may legally answer "no" on a reachable field, but must
+        # never claim success when the goal is unreachable
+        if row[7] == "yes":
+            assert reachable
+
+
+def test_soukup_beats_wavefront_in_open_field(benchmark):
+    mask = np.ones((60, 60), dtype=bool)
+
+    def kernel():
+        return cells_expanded_ratio(mask, Point(0, 0), Point(59, 59))
+
+    soukup_cells, bfs_cells = benchmark.pedantic(
+        kernel, rounds=1, iterations=1
+    )
+    emit(
+        f"open-field 60x60: soukup touched {soukup_cells} cells, "
+        f"wavefront {bfs_cells} — ratio {bfs_cells / soukup_cells:.1f}x"
+    )
+    assert soukup_cells * 3 < bfs_cells

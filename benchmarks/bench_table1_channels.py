@@ -1,0 +1,121 @@
+"""Experiment E1 — the paper's channel results table.
+
+Paper claims reproduced in shape:
+
+* Mighty routes difficult channels *at or near density* (the paper:
+  "has routed difficult channels such as Deutsch's in density");
+* Mighty performs *better than or as well as* the YACR-II-style router on
+  every channel;
+* the classical left-edge/dogleg/greedy routers need more tracks.
+
+Rows are printed in the style of the era's result tables: instance,
+columns, nets, density, then tracks-to-complete per router.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.channels import (
+    ChannelRouter,
+    DoglegRouter,
+    GreedyRouter,
+    LeftEdgeRouter,
+    MightyChannelRouter,
+    YacrLiteRouter,
+)
+from repro.netlist.channel import ChannelSpec
+from repro.netlist.generators import deutsch_class_channel, random_channel
+from repro.netlist.instances import dogleg_channel, simple_channel
+
+
+def _suite() -> List[ChannelSpec]:
+    return [
+        simple_channel(),
+        dogleg_channel(),
+        random_channel(24, 8, seed=11, target_density=5,
+                       allow_vcg_cycles=False, name="rand24"),
+        random_channel(40, 16, seed=7, target_density=8,
+                       allow_vcg_cycles=False, name="rand40"),
+        random_channel(80, 30, seed=2, target_density=12,
+                       allow_vcg_cycles=False, name="rand80"),
+        deutsch_class_channel(),
+    ]
+
+
+def _routers() -> List[ChannelRouter]:
+    return [
+        LeftEdgeRouter(),
+        DoglegRouter(),
+        GreedyRouter(),
+        YacrLiteRouter(),
+        MightyChannelRouter(),
+    ]
+
+
+@lru_cache(maxsize=1)
+def _results() -> Dict[str, Dict[str, object]]:
+    table: Dict[str, Dict[str, object]] = {}
+    for spec in _suite():
+        row: Dict[str, object] = {
+            "columns": spec.n_columns,
+            "nets": len(spec.net_numbers()),
+            "density": spec.density,
+        }
+        for router in _routers():
+            result = router.route_min_tracks(spec, max_extra=20)
+            row[router.name] = result.tracks if result.success else "-"
+        table[spec.name] = row
+    return table
+
+
+def _print_table() -> None:
+    results = _results()
+    router_names = [r.name for r in _routers()]
+    rows = [
+        [name] + [row[k] for k in ("columns", "nets", "density")]
+        + [row[r] for r in router_names]
+        for name, row in results.items()
+    ]
+    emit(
+        format_table(
+            ["channel", "cols", "nets", "density"] + router_names,
+            rows,
+            title="Table 1 — tracks to complete (channel suite)",
+        )
+    )
+
+
+def test_table1_channels(benchmark):
+    """Regenerate Table 1; the benchmarked kernel is Mighty on the
+    40-column channel (the medium representative)."""
+    spec = random_channel(
+        40, 16, seed=7, target_density=8, allow_vcg_cycles=False
+    )
+
+    def kernel():
+        return MightyChannelRouter().route_min_tracks(spec, max_extra=10)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert result.success
+
+    _print_table()
+    results = _results()
+    router_names = [r.name for r in _routers()]
+
+    # Shape assertions from the paper's claims:
+    for name, row in results.items():
+        mighty = row["mighty"]
+        assert mighty != "-", f"Mighty failed on {name}"
+        # at or near density
+        assert int(mighty) <= int(row["density"]) + 3
+        # better than or as well as every baseline that completed
+        for other in router_names:
+            if other != "mighty" and row[other] != "-":
+                assert int(mighty) <= int(row[other]), (
+                    f"{name}: mighty={mighty} vs {other}={row[other]}"
+                )

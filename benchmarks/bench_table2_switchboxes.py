@@ -1,0 +1,148 @@
+"""Experiment E2 — the paper's switchbox results table.
+
+Paper claims reproduced in shape:
+
+* Mighty completes difficult switchboxes that a sequential maze router
+  (no modification) cannot;
+* on a Burstein-difficult-geometry box (23x15, ~24 nets), the minimum-width
+  sweep shows Mighty completing in a box with *fewer columns* than the
+  baseline needs — the "routed using one less column than the original
+  data" result.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from conftest import emit
+
+from repro.analysis import format_table, layout_metrics, verify_routing
+from repro.core import MightyConfig
+from repro.netlist.generators import (
+    burstein_class_switchbox,
+    dense_class_switchbox,
+    random_switchbox,
+    woven_switchbox,
+)
+from repro.netlist.switchbox import SwitchboxSpec
+from repro.switchbox import (
+    GreedySwitchboxRouter,
+    minimum_routable_width,
+    route_switchbox,
+    route_switchbox_naive,
+)
+
+
+def _suite() -> List[SwitchboxSpec]:
+    return [
+        burstein_class_switchbox(),
+        dense_class_switchbox(),
+        woven_switchbox(23, 15, 24, seed=4, tangle=0.3, name="woven-a"),
+        woven_switchbox(16, 16, 19, seed=3, tangle=0.5, name="woven-b"),
+        random_switchbox(23, 15, 24, seed=3, fill=0.5, name="scatter-50"),
+        random_switchbox(23, 15, 24, seed=3, fill=0.65, name="scatter-65"),
+    ]
+
+
+@lru_cache(maxsize=1)
+def _rows() -> List[List[object]]:
+    rows: List[List[object]] = []
+    greedy = GreedySwitchboxRouter()
+    for spec in _suite():
+        problem = spec.to_problem()
+        mighty = route_switchbox(spec)
+        naive = route_switchbox_naive(spec)
+        luk = greedy.route(spec)
+        verified = verify_routing(problem, mighty.grid)
+        metrics = layout_metrics(problem, mighty.grid)
+        rows.append(
+            [
+                spec.name,
+                f"{spec.width}x{spec.height}",
+                len(spec.net_numbers()),
+                f"{mighty.stats.routed_connections}/{mighty.stats.connections}",
+                f"{naive.stats.routed_connections}/{naive.stats.connections}",
+                "yes" if luk.success else "no",
+                mighty.stats.strong_modifications,
+                metrics.via_count,
+                metrics.wire_cells,
+                "yes" if (mighty.success and verified.ok) else "no",
+            ]
+        )
+    return rows
+
+
+@lru_cache(maxsize=1)
+def _sweep_rows() -> List[List[object]]:
+    spec = burstein_class_switchbox()
+    mighty = minimum_routable_width(spec, MightyConfig())
+    naive = minimum_routable_width(spec, MightyConfig.no_modification())
+    return [
+        ["mighty", spec.width, mighty.min_completed_width or "-"],
+        ["maze-sequential", spec.width, naive.min_completed_width or "-"],
+    ]
+
+
+def test_table2_switchboxes(benchmark):
+    """Regenerate Table 2 (completion comparison) and check its shape."""
+    spec = burstein_class_switchbox()
+
+    def kernel():
+        return route_switchbox(spec)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert result.success
+
+    rows = _rows()
+    emit(
+        format_table(
+            [
+                "switchbox",
+                "size",
+                "nets",
+                "mighty",
+                "naive",
+                "luk-greedy",
+                "rips",
+                "vias",
+                "wire",
+                "verified",
+            ],
+            rows,
+            title="Table 2 — switchbox completion "
+            "(mighty vs sequential maze vs greedy)",
+        )
+    )
+    # Shape: mighty completes every feasible-by-construction box and never
+    # routes fewer connections than the baseline.
+    for row in rows:
+        name = str(row[0])
+        mighty_done, naive_done = str(row[3]), str(row[4])
+        m_routed = int(mighty_done.split("/")[0])
+        n_routed = int(naive_done.split("/")[0])
+        assert m_routed >= n_routed, name
+        if "woven" in name or "class" in name:
+            assert row[9] == "yes", f"{name} should complete"
+
+
+def test_table2_minimum_width(benchmark):
+    """The 'one less column' experiment: Mighty's minimum completed width
+    is strictly smaller than the sequential baseline's."""
+
+    def kernel():
+        return _sweep_rows()
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["router", "original width", "min completed width"],
+            rows,
+            title="Table 2b — minimum-width sweep (Burstein-class box)",
+        )
+    )
+    mighty_width = rows[0][2]
+    naive_width = rows[1][2]
+    assert mighty_width != "-"
+    if naive_width != "-":
+        assert int(mighty_width) < int(naive_width)

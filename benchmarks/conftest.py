@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one experiment from the paper
+(experiment ids E1-E6 in DESIGN.md).  Conventions:
+
+* each bench prints a paper-style results table (via
+  :func:`repro.analysis.format_table`) so running
+  ``pytest benchmarks/ --benchmark-only`` reproduces the evaluation tables
+  on stdout;
+* wall-clock numbers are measured by ``pytest-benchmark`` on a
+  representative kernel per experiment;
+* figures (SVG) are written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_tables_archive():
+    """Start each benchmark session with a clean tables archive."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    archive = OUTPUT_DIR / "experiment_tables.txt"
+    if archive.exists():
+        archive.unlink()
+    yield
+
+
+def emit(text: str) -> None:
+    """Print a results table and archive it.
+
+    Tables print to stdout (``benchmarks/pytest.ini`` disables capture) and
+    are appended to ``benchmarks/output/experiment_tables.txt`` so the
+    regenerated evaluation survives even a fully-captured run.
+    """
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "experiment_tables.txt", "a") as handle:
+        handle.write(text + "\n\n")

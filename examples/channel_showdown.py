@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Channel-router showdown: five routers on a Deutsch-class channel.
+
+Run::
+
+    python examples/channel_showdown.py [--small]
+
+Reproduces the flavour of the paper's channel comparison: every router
+gets the same instance and reports the smallest track count at which it
+completes, next to the density lower bound.  ``--small`` uses a 40-column
+instance so the script finishes in a few seconds.
+"""
+
+import sys
+import time
+
+from repro.analysis import format_table
+from repro.channels import (
+    DoglegRouter,
+    GreedyRouter,
+    LeftEdgeRouter,
+    MightyChannelRouter,
+    YacrLiteRouter,
+)
+from repro.netlist.generators import deutsch_class_channel, random_channel
+
+
+def main() -> None:
+    if "--small" in sys.argv:
+        spec = random_channel(
+            40, 16, seed=7, target_density=8, allow_vcg_cycles=False
+        )
+    else:
+        spec = deutsch_class_channel()
+    print(f"instance: {spec}")
+    print(f"density (lower bound): {spec.density}")
+    print(f"VCG longest chain: {spec.vcg_longest_path()}")
+    print()
+
+    routers = [
+        LeftEdgeRouter(),
+        DoglegRouter(),
+        GreedyRouter(),
+        YacrLiteRouter(),
+        MightyChannelRouter(),
+    ]
+    rows = []
+    for router in routers:
+        started = time.perf_counter()
+        result = router.route_min_tracks(spec, max_extra=20)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                router.name,
+                result.tracks if result.success else "-",
+                result.tracks_used if result.success else "-",
+                result.extension_columns,
+                "yes" if result.success else f"no ({result.reason})",
+                f"{elapsed:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["router", "tracks", "used", "ext.cols", "completed", "seconds"],
+            rows,
+            title=f"channel results on {spec.name} (density {spec.density})",
+        )
+    )
+
+    # Show the winning layout, paper-figure style, for small instances.
+    if spec.n_columns <= 60:
+        from repro.viz import render_channel
+
+        best = MightyChannelRouter().route_min_tracks(spec, max_extra=20)
+        if best.success:
+            print()
+            print(render_channel(spec, grid=best.grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Watch the rip-up machinery converge, then clean up and export.
+
+Run::
+
+    python examples/convergence_and_cleanup.py [dump.json]
+
+Routes a congested scatter switchbox (lots of rip-up), prints the
+convergence series from the event trace, runs the final improvement phase,
+and exports the finished result to JSON (reloadable and re-verifiable with
+``repro.core.serialize``).
+"""
+
+import sys
+
+from repro.analysis import format_table, layout_metrics, verify_routing
+from repro.core import improve_routing, route_problem
+from repro.core.serialize import save_result
+from repro.core.trace import convergence_series, modification_activity
+from repro.netlist.generators import random_switchbox
+
+
+def main() -> None:
+    spec = random_switchbox(23, 15, 24, seed=3, fill=0.5, name="demo-box")
+    problem = spec.to_problem()
+    result = route_problem(problem)
+    print(result.summary())
+
+    series = convergence_series(result)
+    stride = max(1, len(series.points) // 20)
+    print(
+        format_table(
+            ["step", "open connections", "event"],
+            series.as_rows(stride=stride),
+            title="convergence (subsampled)",
+        )
+    )
+    activity = modification_activity(result)
+    print(
+        "modification activity:",
+        {kind: len(steps) for kind, steps in activity.items()},
+    )
+
+    before = layout_metrics(problem, result.grid)
+    stats = improve_routing(result, passes=3)
+    after = layout_metrics(problem, result.grid)
+    print(stats.summary())
+    print(
+        f"wire {before.wire_cells} -> {after.wire_cells}, "
+        f"vias {before.via_count} -> {after.via_count}"
+    )
+    report = verify_routing(problem, result.grid)
+    print(report.summary())
+
+    if len(sys.argv) > 1:
+        save_result(sys.argv[1], result)
+        print(f"result dumped to {sys.argv[1]}")
+
+    if not (result.success and report.ok):
+        raise SystemExit("demo failed to route — this is a bug")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: route a small switchbox with the Mighty router.
+
+Run::
+
+    python examples/quickstart.py
+
+Demonstrates the three-call workflow every user of the library follows:
+build a problem, route it, verify and inspect the result.
+"""
+
+from repro import layout_metrics, route_problem, verify_routing
+from repro.netlist.instances import small_switchbox
+from repro.viz.ascii_art import render_grid
+
+
+def main() -> None:
+    # 1. A problem: a 6x5 switchbox with four nets on its boundary.
+    spec = small_switchbox()
+    problem = spec.to_problem()
+    print(f"problem: {problem}")
+
+    # 2. Route it (rip-up and reroute enabled by default).
+    result = route_problem(problem)
+    print(result.summary())
+
+    # 3. Verify independently and measure.
+    report = verify_routing(problem, result.grid)
+    print(report.summary())
+    metrics = layout_metrics(problem, result.grid)
+    print(
+        f"wire cells: {metrics.wire_cells}, vias: {metrics.via_count}, "
+        f"H/V split: {metrics.horizontal_cells}/{metrics.vertical_cells}"
+    )
+
+    # The routed layout, one character per cell (pins are letters,
+    # '-'/'|' are wires, '+' is a via).
+    print()
+    print(render_grid(problem, result.grid))
+
+    if not (result.success and report.ok):
+        raise SystemExit("quickstart failed to route — this is a bug")
+
+
+if __name__ == "__main__":
+    main()

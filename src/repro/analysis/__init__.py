@@ -1,0 +1,26 @@
+"""Ground-truth checking and measurement.
+
+Every router in the library emits onto the shared
+:class:`~repro.grid.RoutingGrid`, and this package judges the result:
+
+* :func:`~repro.analysis.verify.verify_routing` — independent design-rule
+  and connectivity verification (shorts, opens, squashed pins, overwritten
+  obstacles, vias without metal).
+* :func:`~repro.analysis.metrics.layout_metrics` — wirelength, via count,
+  per-layer usage, tracks used.
+* :mod:`~repro.analysis.report` — fixed-width tables for the benchmark
+  harness, formatted like the result tables of the era's papers.
+"""
+
+from repro.analysis.metrics import LayoutMetrics, channel_tracks_used, layout_metrics
+from repro.analysis.report import format_table
+from repro.analysis.verify import VerificationReport, verify_routing
+
+__all__ = [
+    "LayoutMetrics",
+    "VerificationReport",
+    "channel_tracks_used",
+    "format_table",
+    "layout_metrics",
+    "verify_routing",
+]

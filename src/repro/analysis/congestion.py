@@ -1,0 +1,125 @@
+"""Congestion and utilisation analysis of routed layouts.
+
+The routing literature diagnoses layouts through occupancy profiles: how
+full each row/column is, where the hot spots sit, how much of the fabric a
+solution consumes.  These measurements feed the scaling discussion (E4) and
+are handy when debugging why an instance needs rip-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
+from repro.netlist.channel import ChannelSpec
+from repro.netlist.problem import RoutingProblem
+
+
+@dataclass(frozen=True)
+class CongestionProfile:
+    """Occupancy statistics of one routed grid."""
+
+    row_utilisation: Tuple[float, ...]  # per row, both layers pooled
+    column_utilisation: Tuple[float, ...]
+    overall_utilisation: float
+    hottest_row: int
+    hottest_column: int
+
+    @property
+    def peak_row_utilisation(self) -> float:
+        """Utilisation of the fullest row."""
+        return max(self.row_utilisation)
+
+    @property
+    def peak_column_utilisation(self) -> float:
+        """Utilisation of the fullest column."""
+        return max(self.column_utilisation)
+
+
+def congestion_profile(grid: RoutingGrid) -> CongestionProfile:
+    """Measure per-row/per-column occupancy of ``grid``.
+
+    Utilisation of a line is ``occupied cells / routable cells`` over both
+    layers; lines that are entirely obstacle report 0.
+    """
+    occ = grid.occupancy()
+    owned = (occ != FREE) & (occ != OBSTACLE)
+    routable = occ != OBSTACLE
+
+    def utilisation(axis_owned: np.ndarray, axis_routable: np.ndarray):
+        result = []
+        for used, possible in zip(axis_owned, axis_routable):
+            result.append(float(used / possible) if possible else 0.0)
+        return tuple(result)
+
+    rows = utilisation(
+        owned.sum(axis=(0, 2)), routable.sum(axis=(0, 2))
+    )
+    columns = utilisation(
+        owned.sum(axis=(0, 1)), routable.sum(axis=(0, 1))
+    )
+    total_routable = int(routable.sum())
+    overall = float(owned.sum() / total_routable) if total_routable else 0.0
+    return CongestionProfile(
+        row_utilisation=rows,
+        column_utilisation=columns,
+        overall_utilisation=overall,
+        hottest_row=int(np.argmax(rows)) if rows else 0,
+        hottest_column=int(np.argmax(columns)) if columns else 0,
+    )
+
+
+def channel_density_profile(spec: ChannelSpec) -> List[int]:
+    """Per-column channel density (the classical congestion estimate).
+
+    The profile's maximum is :attr:`ChannelSpec.density`; the profile shape
+    shows where a router will have to work.
+    """
+    return [spec.column_density(c) for c in range(spec.n_columns)]
+
+
+def net_bounding_boxes(
+    problem: RoutingProblem,
+) -> Dict[str, Tuple[int, int, int, int]]:
+    """Half-perimeter bounding box of each net's pins (pre-routing estimate).
+
+    Returns ``name -> (x0, y0, x1, y1)`` (inclusive corners).  Summing the
+    half-perimeters gives the classical wirelength lower-bound estimate.
+    """
+    boxes: Dict[str, Tuple[int, int, int, int]] = {}
+    for net in problem.nets:
+        if not net.pins:
+            continue
+        xs = [pin.x for pin in net.pins]
+        ys = [pin.y for pin in net.pins]
+        boxes[net.name] = (min(xs), min(ys), max(xs), max(ys))
+    return boxes
+
+
+def hpwl_estimate(problem: RoutingProblem) -> int:
+    """Half-perimeter wirelength lower-bound estimate over all nets."""
+    total = 0
+    for x0, y0, x1, y1 in net_bounding_boxes(problem).values():
+        total += (x1 - x0) + (y1 - y0)
+    return total
+
+
+def wirelength_overhead(
+    problem: RoutingProblem, grid: RoutingGrid
+) -> float:
+    """Measured wire cells relative to the HPWL estimate (>= ~1.0).
+
+    A detour-free routing of 2-pin nets sits close to 1.0; congested
+    layouts climb.  Returns ``inf`` when the estimate is zero but wire
+    exists.
+    """
+    from repro.analysis.metrics import layout_metrics
+
+    estimate = hpwl_estimate(problem)
+    wire = layout_metrics(problem, grid).wire_cells
+    if estimate == 0:
+        return float("inf") if wire else 1.0
+    return wire / estimate

@@ -1,0 +1,68 @@
+"""Fixed-width result tables in the style of the era's papers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a padded ASCII table.
+
+    Numbers are right-aligned, text left-aligned; the layout mimics the
+    results tables in the 1980s routing papers so benchmark output reads
+    like the original.
+    """
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [
+        all(_is_number(row[index]) for row in materialised) if materialised else False
+        for index in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(rule)
+    lines.append(fmt_row(list(headers)))
+    lines.append(rule)
+    for row in materialised:
+        lines.append(fmt_row(row))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def _is_number(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

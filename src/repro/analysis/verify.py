@@ -1,0 +1,129 @@
+"""Independent verification of routed layouts.
+
+The verifier re-derives everything from the problem statement and the final
+grid — it trusts none of the router's bookkeeping.  Checks:
+
+* **pins** — every pin node is owned by its net;
+* **opens** — each net's pins lie in one connected component of its copper;
+* **shorts** — no node is owned by a net not in the problem, and via cells
+  own both layers (a via bridging two different nets is structurally
+  impossible in :class:`~repro.grid.RoutingGrid`, but the verifier checks
+  anyway so a future grid bug cannot hide);
+* **obstacles / region** — blocked cells of a freshly-built reference grid
+  are still blocked (nothing routed over an obstacle or off the region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
+from repro.netlist.problem import RoutingProblem
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_routing`."""
+
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    connected_nets: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def open_nets(self) -> List[str]:
+        """Nets whose pins are not all connected."""
+        return sorted(
+            name for name, good in self.connected_nets.items() if not good
+        )
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return f"VERIFIED: {len(self.connected_nets)} nets connected"
+        return "FAILED: " + "; ".join(self.errors[:5]) + (
+            f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
+        )
+
+
+def verify_routing(
+    problem: RoutingProblem, grid: RoutingGrid
+) -> VerificationReport:
+    """Check ``grid`` against ``problem``; see module docstring for rules."""
+    errors: List[str] = []
+    occ = grid.occupancy()
+    via = grid.via_map()
+    n_nets = len(problem.nets)
+
+    # --- structural sanity -------------------------------------------------
+    bad_ids = np.unique(occ[(occ != FREE) & (occ != OBSTACLE)])
+    for net_id in bad_ids.tolist():
+        if not 1 <= net_id <= n_nets:
+            errors.append(f"grid contains unknown net id {net_id}")
+    ys, xs = np.nonzero(via)
+    for y, x in zip(ys.tolist(), xs.tolist()):
+        owner = int(via[y, x])
+        if int(occ[0, y, x]) != owner or int(occ[1, y, x]) != owner:
+            errors.append(
+                f"via of net {owner} at ({x},{y}) lacks metal on both layers"
+            )
+
+    # --- obstacles and region ---------------------------------------------
+    reference = problem.build_grid()
+    ref_occ = reference.occupancy()
+    blocked = ref_occ == OBSTACLE
+    violated = blocked & (occ != OBSTACLE)
+    if violated.any():
+        layer, y, x = [int(v[0]) for v in np.nonzero(violated)]
+        errors.append(
+            f"blocked cell overwritten at ({x},{y}) layer {layer} "
+            f"(+{int(violated.sum()) - 1} more)"
+        )
+    # Pins of the reference grid must be intact in the routed grid.
+    ref_pin = reference.pin_map()
+    pin_moved = (ref_pin != 0) & (occ != ref_pin)
+    if pin_moved.any():
+        layer, y, x = [int(v[0]) for v in np.nonzero(pin_moved)]
+        errors.append(
+            f"pin cell stolen at ({x},{y}) layer {layer} "
+            f"(+{int(pin_moved.sum()) - 1} more)"
+        )
+
+    # --- connectivity -------------------------------------------------------
+    connected: Dict[str, bool] = {}
+    for index, net in enumerate(problem.nets):
+        net_id = index + 1
+        if len(net.pins) < 2:
+            connected[net.name] = True
+            continue
+        missing = [
+            pin
+            for pin in net.pins
+            if grid.owner(tuple(pin.node)) != net_id
+        ]
+        if missing:
+            errors.append(
+                f"net {net.name!r} lost pin(s) at "
+                f"{[(p.x, p.y) for p in missing]}"
+            )
+            connected[net.name] = False
+            continue
+        component = grid.connected_component(net_id, tuple(net.pins[0].node))
+        good = all(pin.node in component for pin in net.pins)
+        connected[net.name] = good
+        if not good:
+            stranded = [
+                (pin.x, pin.y)
+                for pin in net.pins
+                if pin.node not in component
+            ]
+            errors.append(f"net {net.name!r} is open: stranded pins {stranded}")
+
+    return VerificationReport(
+        ok=not errors, errors=errors, connected_nets=connected
+    )

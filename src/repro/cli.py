@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro`` / ``repro-route``.
+
+Subcommands
+-----------
+``route``
+    Route a problem file (channel, switchbox or JSON problem), print the
+    outcome, optionally render ASCII/SVG.
+``info``
+    Print analysis of a problem file (density, VCG cycles, pin counts)
+    without routing.
+``generate``
+    Emit a seeded synthetic benchmark instance to stdout or a file.
+``sweep``
+    The paper's minimum-width experiment: shrink a switchbox column by
+    column and report the narrowest box each router completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import channel_tracks_used, layout_metrics
+from repro.analysis.verify import verify_routing
+from repro.core.config import MightyConfig
+from repro.core.router import route_problem
+from repro.netlist import io as problem_io
+from repro.netlist.generators import (
+    burstein_class_switchbox,
+    deutsch_class_channel,
+    random_channel,
+    random_switchbox,
+)
+from repro.viz.ascii_art import render_grid
+from repro.viz.svg import svg_from_grid
+
+
+def _detect_format(path: Path, explicit: Optional[str]) -> str:
+    if explicit:
+        return explicit
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return "problem"
+    text = path.read_text()
+    if "left:" in text:
+        return "switchbox"
+    return "channel"
+
+
+def _load(path: Path, fmt: str):
+    if fmt == "channel":
+        return problem_io.load_channel(path)
+    if fmt == "switchbox":
+        return problem_io.load_switchbox(path)
+    if fmt == "problem":
+        return problem_io.load_problem(path)
+    raise SystemExit(f"unknown format {fmt!r}")
+
+
+def _make_config(args: argparse.Namespace) -> MightyConfig:
+    if args.router == "mighty":
+        return MightyConfig()
+    if args.router == "naive":
+        return MightyConfig.no_modification()
+    if args.router == "weak-only":
+        return MightyConfig.weak_only()
+    if args.router == "strong-only":
+        return MightyConfig.strong_only()
+    raise SystemExit(f"unknown router {args.router!r}")
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Route a problem file and report/render the outcome."""
+    path = Path(args.file)
+    fmt = _detect_format(path, args.format)
+    loaded = _load(path, fmt)
+    if fmt == "channel":
+        tracks = args.tracks or loaded.density
+        problem = loaded.to_problem(max(1, tracks))
+    elif fmt == "switchbox":
+        problem = loaded.to_problem()
+    else:
+        problem = loaded
+    result = route_problem(problem, _make_config(args))
+    if args.improve and result.success:
+        from repro.core.improve import improve_routing
+
+        stats = improve_routing(result)
+        print(stats.summary())
+    report = verify_routing(problem, result.grid)
+    metrics = layout_metrics(problem, result.grid)
+    print(result.summary())
+    print(report.summary())
+    print(
+        f"wire cells: {metrics.wire_cells}  vias: {metrics.via_count}"
+    )
+    if fmt == "channel":
+        print(f"tracks used: {channel_tracks_used(problem, result.grid)}")
+    if args.ascii:
+        print(render_grid(problem, result.grid))
+    if args.svg:
+        Path(args.svg).write_text(svg_from_grid(problem, result.grid))
+        print(f"wrote {args.svg}")
+    return 0 if (result.success and report.ok) else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the minimum-width sweep on a switchbox file."""
+    from repro.analysis.report import format_table
+    from repro.switchbox import minimum_routable_width
+
+    spec = problem_io.load_switchbox(Path(args.file))
+    mighty = minimum_routable_width(spec, MightyConfig())
+    naive = minimum_routable_width(spec, MightyConfig.no_modification())
+    print(
+        format_table(
+            ["router", "original width", "min completed width"],
+            [
+                ["mighty", spec.width, mighty.min_completed_width or "-"],
+                [
+                    "maze-sequential",
+                    spec.width,
+                    naive.min_completed_width or "-",
+                ],
+            ],
+            title=f"minimum-width sweep on {spec.name}",
+        )
+    )
+    return 0 if mighty.min_completed_width is not None else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Re-verify a routing result dump."""
+    from repro.core.serialize import load_result_grid
+
+    problem, grid = load_result_grid(Path(args.file))
+    report = verify_routing(problem, grid)
+    metrics = layout_metrics(problem, grid)
+    print(f"problem: {problem}")
+    print(report.summary())
+    print(f"wire cells: {metrics.wire_cells}  vias: {metrics.via_count}")
+    return 0 if report.ok else 1
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print analysis of a problem file without routing it."""
+    path = Path(args.file)
+    fmt = _detect_format(path, args.format)
+    loaded = _load(path, fmt)
+    if fmt == "channel":
+        print(f"channel {loaded.name}: {loaded.n_columns} columns, "
+              f"{len(loaded.net_numbers())} nets")
+        print(f"density: {loaded.density}")
+        print(f"VCG cycle: {'yes' if loaded.has_vcg_cycle() else 'no'}")
+        print(f"VCG longest chain: {loaded.vcg_longest_path()}")
+    elif fmt == "switchbox":
+        print(f"switchbox {loaded.name}: {loaded.width}x{loaded.height}, "
+              f"{len(loaded.net_numbers())} nets, {loaded.pin_count} pins")
+        print(f"empty columns: {len(loaded.empty_columns())}")
+    else:
+        print(repr(loaded))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Emit a seeded synthetic benchmark instance."""
+    if args.kind == "channel":
+        spec = random_channel(args.columns, args.nets, seed=args.seed)
+        text = problem_io.format_channel(spec)
+    elif args.kind == "deutsch":
+        text = problem_io.format_channel(deutsch_class_channel(args.seed))
+    elif args.kind == "switchbox":
+        spec = random_switchbox(
+            args.columns, args.rows, args.nets, seed=args.seed
+        )
+        text = problem_io.format_switchbox(spec)
+    elif args.kind == "burstein":
+        text = problem_io.format_switchbox(burstein_class_switchbox(args.seed))
+    else:
+        raise SystemExit(f"unknown kind {args.kind!r}")
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-route",
+        description="rip-up-and-reroute detailed router (Mighty reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route a problem file")
+    route.add_argument("file")
+    route.add_argument(
+        "--format", choices=("channel", "switchbox", "problem")
+    )
+    route.add_argument(
+        "--router",
+        choices=("mighty", "naive", "weak-only", "strong-only"),
+        default="mighty",
+    )
+    route.add_argument(
+        "--tracks", type=int, help="channel track count (default: density)"
+    )
+    route.add_argument("--ascii", action="store_true", help="print layout")
+    route.add_argument("--svg", help="write an SVG rendering")
+    route.add_argument(
+        "--improve",
+        action="store_true",
+        help="run the final improvement phase after routing",
+    )
+    route.set_defaults(func=cmd_route)
+
+    sweep = sub.add_parser(
+        "sweep", help="minimum-width sweep on a switchbox file"
+    )
+    sweep.add_argument("file")
+    sweep.set_defaults(func=cmd_sweep)
+
+    verify = sub.add_parser(
+        "verify", help="re-verify a routing result dump (JSON)"
+    )
+    verify.add_argument("file")
+    verify.set_defaults(func=cmd_verify)
+
+    info = sub.add_parser("info", help="analyse a problem file")
+    info.add_argument("file")
+    info.add_argument("--format", choices=("channel", "switchbox", "problem"))
+    info.set_defaults(func=cmd_info)
+
+    generate = sub.add_parser("generate", help="emit a synthetic benchmark")
+    generate.add_argument(
+        "kind", choices=("channel", "switchbox", "deutsch", "burstein")
+    )
+    generate.add_argument("--columns", type=int, default=24)
+    generate.add_argument("--rows", type=int, default=12)
+    generate.add_argument("--nets", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--output", "-o")
+    generate.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

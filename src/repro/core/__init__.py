@@ -1,0 +1,39 @@
+"""The paper's contribution: the Mighty rip-up-and-reroute detailed router.
+
+The router processes a problem one two-point *connection* at a time
+(:mod:`~repro.core.decompose`), ordered by a published heuristic
+(:mod:`~repro.core.ordering`).  A blocked connection triggers, in order:
+
+1. **Weak modification** — the cheapest soft-conflict walk is taken only if
+   every displaced victim can immediately be rerouted; otherwise the whole
+   attempt is undone (the grid is snapshot/restored).
+2. **Strong modification** — victims along the cheapest soft walk are ripped
+   up and re-queued for rerouting, with per-net rip budgets that make the
+   loop provably finite (the paper's termination theorem).
+
+Everything is configured through :class:`~repro.core.config.MightyConfig`,
+whose toggles double as the ablation knobs for experiment E5.
+"""
+
+from repro.core.config import MightyConfig
+from repro.core.decompose import Connection, decompose_net, decompose_problem
+from repro.core.improve import ImprovementStats, improve_routing, path_cost
+from repro.core.ordering import order_connections
+from repro.core.result import RouteEvent, RouteResult, RouteStats
+from repro.core.router import MightyRouter, route_problem
+
+__all__ = [
+    "Connection",
+    "ImprovementStats",
+    "MightyConfig",
+    "MightyRouter",
+    "RouteEvent",
+    "RouteResult",
+    "RouteStats",
+    "decompose_net",
+    "decompose_problem",
+    "improve_routing",
+    "order_connections",
+    "path_cost",
+    "route_problem",
+]

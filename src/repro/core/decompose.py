@@ -1,0 +1,121 @@
+"""Net decomposition into two-point connections.
+
+Mighty routes one two-point connection at a time.  A multi-pin net is broken
+into ``pin_count - 1`` connections along a minimum spanning tree of the pin
+positions (Manhattan metric).  At routing time each connection targets the
+net's already-routed *component* rather than the bare pin, so later
+connections reuse earlier copper — the standard incremental treatment of
+multi-pin nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.grid.path import GridNode, GridPath
+from repro.netlist.net import Net, Pin
+from repro.netlist.problem import RoutingProblem
+
+
+@dataclass(eq=False)
+class Connection:
+    """One two-point routing task (identity-hashed, mutable routing state).
+
+    Attributes
+    ----------
+    net_name, net_id:
+        Owning net.
+    source_pin, target_pin:
+        The MST edge endpoints.  During routing the actual sources/targets
+        are the connected components containing these pins.
+    path:
+        Committed wiring; ``None`` when unrouted or when the endpoints were
+        already connected through sibling connections.
+    routed:
+        Whether the connection is currently electrically satisfied.
+    rips:
+        How many times strong modification has ripped this connection.
+    chain_depth:
+        Depth of the rip chain that re-queued this connection (0 for a
+        fresh connection); the router cuts chains beyond a configured
+        depth to stop cascading destruction.
+    """
+
+    net_name: str
+    net_id: int
+    source_pin: Pin
+    target_pin: Pin
+    path: Optional[GridPath] = None
+    routed: bool = False
+    rips: int = 0
+    chain_depth: int = 0
+    deferrals: int = 0
+
+    @property
+    def estimated_length(self) -> int:
+        """Manhattan distance between the endpoint pins (ordering key)."""
+        return abs(self.source_pin.x - self.target_pin.x) + abs(
+            self.source_pin.y - self.target_pin.y
+        )
+
+    @property
+    def source_node(self) -> GridNode:
+        """Grid node of the source pin."""
+        return self.source_pin.node
+
+    @property
+    def target_node(self) -> GridNode:
+        """Grid node of the target pin."""
+        return self.target_pin.node
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "routed" if self.routed else "open"
+        return (
+            f"Connection({self.net_name!r}, "
+            f"({self.source_pin.x},{self.source_pin.y})->"
+            f"({self.target_pin.x},{self.target_pin.y}), {status})"
+        )
+
+
+def decompose_net(net: Net, net_id: int) -> List[Connection]:
+    """Break ``net`` into MST connections (empty for nets with < 2 pins).
+
+    Uses Prim's algorithm on the Manhattan distances between pin cells;
+    deterministic for a fixed pin order.
+    """
+    pins = list(net.pins)
+    if len(pins) < 2:
+        return []
+    in_tree = [pins[0]]
+    remaining = pins[1:]
+    edges: List[Tuple[Pin, Pin]] = []
+    while remaining:
+        best: Optional[Tuple[int, Pin, Pin]] = None
+        for anchor in in_tree:
+            for candidate in remaining:
+                dist = abs(anchor.x - candidate.x) + abs(anchor.y - candidate.y)
+                if best is None or dist < best[0]:
+                    best = (dist, anchor, candidate)
+        assert best is not None
+        _, anchor, candidate = best
+        edges.append((anchor, candidate))
+        in_tree.append(candidate)
+        remaining.remove(candidate)
+    return [
+        Connection(
+            net_name=net.name,
+            net_id=net_id,
+            source_pin=source,
+            target_pin=target,
+        )
+        for source, target in edges
+    ]
+
+
+def decompose_problem(problem: RoutingProblem) -> List[Connection]:
+    """All connections of a problem, in net order."""
+    connections: List[Connection] = []
+    for index, net in enumerate(problem.nets):
+        connections.extend(decompose_net(net, index + 1))
+    return connections

@@ -1,0 +1,79 @@
+"""Connection ordering strategies.
+
+The paper routes the easy (short) connections first so the hard ones face a
+known landscape and the modification machinery has maximal information.  The
+alternative orders exist for the ordering-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.decompose import Connection
+
+
+def order_connections(
+    connections: List[Connection], strategy: str = "shortest"
+) -> List[Connection]:
+    """Return a new list ordered by ``strategy``.
+
+    Strategies
+    ----------
+    ``shortest``
+        Ascending Manhattan length (the published default); ties broken by
+        net name for determinism.
+    ``longest``
+        Descending Manhattan length.
+    ``most_pins``
+        Connections of larger nets first, longest first within a net.
+    ``leftmost``
+        Column sweep: ascending leftmost x of the endpoints (the natural
+        order for channels), shortest first within a column.
+    ``input``
+        Problem order, untouched.
+    """
+    if strategy == "input":
+        return list(connections)
+    if strategy == "leftmost":
+        return sorted(
+            connections,
+            key=lambda c: (
+                min(c.source_pin.x, c.target_pin.x),
+                c.estimated_length,
+                c.net_name,
+                _pin_key(c),
+            ),
+        )
+    if strategy == "shortest":
+        return sorted(
+            connections,
+            key=lambda c: (c.estimated_length, c.net_name, _pin_key(c)),
+        )
+    if strategy == "longest":
+        return sorted(
+            connections,
+            key=lambda c: (-c.estimated_length, c.net_name, _pin_key(c)),
+        )
+    if strategy == "most_pins":
+        sizes: Dict[str, int] = {}
+        for connection in connections:
+            sizes[connection.net_name] = sizes.get(connection.net_name, 0) + 1
+        return sorted(
+            connections,
+            key=lambda c: (
+                -sizes[c.net_name],
+                -c.estimated_length,
+                c.net_name,
+                _pin_key(c),
+            ),
+        )
+    raise ValueError(f"unknown ordering strategy {strategy!r}")
+
+
+def _pin_key(connection: Connection):
+    return (
+        connection.source_pin.x,
+        connection.source_pin.y,
+        connection.target_pin.x,
+        connection.target_pin.y,
+    )

@@ -1,0 +1,109 @@
+"""Routing results, statistics and the event trace.
+
+The event trace is first-class because experiment E4 (the convergence
+figure) plots it: every hard route, weak modification, strong rip-up and
+failure is appended as a :class:`RouteEvent`, so the router's behaviour over
+time can be reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.decompose import Connection
+from repro.grid.routing_grid import RoutingGrid
+from repro.netlist.problem import RoutingProblem
+
+
+@dataclass(frozen=True)
+class RouteEvent:
+    """One entry of the router's event trace."""
+
+    step: int
+    kind: str  # 'route' | 'weak' | 'strong' | 'reroute' | 'fail' | 'retry'
+    net: str
+    detail: str = ""
+    open_connections: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.step:>4}] {self.kind:<8} {self.net:<8} {self.detail}"
+
+
+@dataclass
+class RouteStats:
+    """Aggregate counters accumulated during one routing run."""
+
+    connections: int = 0
+    routed_connections: int = 0
+    failed_connections: int = 0
+    hard_routes: int = 0
+    weak_modifications: int = 0
+    weak_rejections: int = 0
+    strong_modifications: int = 0
+    ripped_connections: int = 0
+    frozen_nets: int = 0
+    iterations: int = 0
+    expansions: int = 0
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for report tables."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class RouteResult:
+    """Everything a routing run produced.
+
+    ``grid`` holds the final copper; feed it to
+    :func:`repro.analysis.verify.verify_routing` for ground-truth checking
+    and to :func:`repro.analysis.metrics.layout_metrics` for wirelength/via
+    numbers.
+    """
+
+    problem: RoutingProblem
+    grid: RoutingGrid
+    connections: List[Connection] = field(default_factory=list)
+    failed: List[Connection] = field(default_factory=list)
+    stats: RouteStats = field(default_factory=RouteStats)
+    events: List[RouteEvent] = field(default_factory=list)
+    router: str = "mighty"
+
+    @property
+    def success(self) -> bool:
+        """True when every connection is electrically satisfied."""
+        return not self.failed and all(c.routed for c in self.connections)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of connections routed (1.0 on success)."""
+        if not self.connections:
+            return 1.0
+        routed = sum(1 for c in self.connections if c.routed)
+        return routed / len(self.connections)
+
+    def connections_of(self, net_name: str) -> List[Connection]:
+        """This run's connections belonging to ``net_name``."""
+        return [c for c in self.connections if c.net_name == net_name]
+
+    def event_counts(self) -> Dict[str, int]:
+        """Histogram of event kinds (handy in tests and reports)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome."""
+        state = "COMPLETE" if self.success else (
+            f"INCOMPLETE ({len(self.failed)} failed)"
+        )
+        return (
+            f"{self.router} on {self.problem.name}: {state}; "
+            f"{self.stats.routed_connections}/{self.stats.connections} "
+            f"connections, {self.stats.weak_modifications} weak, "
+            f"{self.stats.strong_modifications} strong modifications, "
+            f"{self.stats.iterations} iterations, "
+            f"{self.stats.elapsed_s:.3f}s"
+        )

@@ -1,0 +1,529 @@
+"""The Mighty rip-up-and-reroute router.
+
+The control loop implements the paper's three-tier strategy:
+
+1. route the connection through free fabric (hard search);
+2. *weak modification* — displace a small number of blocking connections,
+   but only if each one can immediately be rerouted (all-or-nothing, undone
+   via a grid snapshot on failure);
+3. *strong modification* — rip the blocking connections out, commit the
+   blocked connection, and re-queue the victims.
+
+Two invariants make the router sound and finite:
+
+* **Connection invariant** — a connection marked ``routed`` always has its
+  two endpoint pins in one connected component of its net's copper.  Ripping
+  a connection can orphan *siblings* of the same net that routed through its
+  copper, so every rip triggers a cascade check that un-routes (and
+  re-queues) any sibling whose endpoints came apart.  With the invariant
+  held for every connection, whole-net connectivity follows from the MST
+  decomposition.
+* **Termination invariant** — every strong modification charges the victims'
+  nets against a finite rip budget; a net at budget is *frozen* and can
+  never be a victim again, so the number of strong modifications is bounded
+  (the paper's finite-time theorem).  The loop carries an explicit iteration
+  guard that raises if the bound is ever exceeded.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import MightyConfig
+from repro.core.decompose import Connection, decompose_problem
+from repro.core.ordering import order_connections
+from repro.core.result import RouteEvent, RouteResult, RouteStats
+from repro.grid.layers import Layer
+from repro.grid.path import GridPath
+from repro.grid.routing_grid import GridError, RoutingGrid
+from repro.maze.astar import find_path
+from repro.netlist.net import Pin
+from repro.netlist.problem import RoutingProblem
+
+Node = Tuple[int, int, int]
+
+
+class MightyRouter:
+    """Route a :class:`RoutingProblem` with rip-up and reroute.
+
+    A router instance is single-use: construct, call :meth:`route`, inspect
+    the returned :class:`~repro.core.result.RouteResult`.
+    """
+
+    def __init__(
+        self, problem: RoutingProblem, config: Optional[MightyConfig] = None
+    ) -> None:
+        self.problem = problem
+        self.config = config or MightyConfig()
+        self._grid: RoutingGrid = problem.build_grid()
+        self._claims: Dict[Node, Set[Connection]] = {}
+        self._net_connections: Dict[int, List[Connection]] = {}
+        self._net_rips: Dict[int, int] = {}
+        self._budgets: Dict[int, int] = {}
+        self._frozen: Set[int] = set()
+        self._events: List[RouteEvent] = []
+        self._stats = RouteStats()
+        self._step = 0
+        self._routed = False
+        self._best_routed = -1
+        self._best_snapshot = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def route(
+        self, pre_routed: Optional[Dict[str, List[GridPath]]] = None
+    ) -> RouteResult:
+        """Run the router once and return the result.
+
+        ``pre_routed`` maps net names to already-committed paths ("partially
+        routed areas" in the paper's terms); pre-routed wiring is registered
+        as ordinary connections, so the router may rip it up like anything
+        else.
+        """
+        if self._routed:
+            raise RuntimeError("MightyRouter instances are single-use")
+        self._routed = True
+        started = time.perf_counter()
+
+        fixed = self._commit_pre_routed(pre_routed or {})
+        connections = decompose_problem(self.problem)
+        all_connections = connections + fixed
+        for connection in all_connections:
+            self._net_connections.setdefault(connection.net_id, []).append(
+                connection
+            )
+        self._budgets = {
+            net_id: self.config.max_rips_per_net * len(conns)
+            for net_id, conns in self._net_connections.items()
+        }
+
+        queue: Deque[Connection] = deque(
+            order_connections(connections, self.config.ordering)
+        )
+        failed: List[Connection] = []
+        retries_left = self.config.retry_passes
+        max_iterations = self._iteration_bound(len(queue))
+
+        while queue or (failed and retries_left > 0):
+            if not queue:
+                retries_left -= 1
+                # Fresh rip budgets for the retry pass: the landscape has
+                # changed, so frozen nets deserve another chance.  The pass
+                # count is bounded, so termination is unaffected.
+                self._net_rips.clear()
+                self._frozen.clear()
+                retry_batch = order_connections(failed, self.config.ordering)
+                failed.clear()
+                for connection in retry_batch:
+                    connection.chain_depth = 0
+                    connection.deferrals = 0
+                    self._record("retry", connection.net_name)
+                queue.extend(retry_batch)
+            connection = queue.popleft()
+            self._step += 1
+            self._stats.iterations += 1
+            if self._stats.iterations > max_iterations:
+                raise RuntimeError(
+                    "termination invariant violated: iteration bound "
+                    f"{max_iterations} exceeded"
+                )
+            if connection.routed:
+                continue
+            if not self._route_connection(connection, queue):
+                failed.append(connection)
+                self._record("fail", connection.net_name)
+            self._note_best_state(all_connections)
+
+        self._restore_best_state(all_connections)
+        self._stats.connections = len(all_connections)
+        self._stats.routed_connections = sum(
+            1 for c in all_connections if c.routed
+        )
+        self._stats.failed_connections = (
+            self._stats.connections - self._stats.routed_connections
+        )
+        self._stats.frozen_nets = len(self._frozen)
+        self._stats.elapsed_s = time.perf_counter() - started
+        return RouteResult(
+            problem=self.problem,
+            grid=self._grid,
+            connections=all_connections,
+            failed=[c for c in all_connections if not c.routed],
+            stats=self._stats,
+            events=self._events,
+            router=self._router_tag(),
+        )
+
+    # ------------------------------------------------------------------
+    # Connection routing
+    # ------------------------------------------------------------------
+    def _route_connection(
+        self, connection: Connection, queue: Deque[Connection]
+    ) -> bool:
+        net_id = connection.net_id
+        source_component = self._grid.connected_component(
+            net_id, tuple(connection.source_node)
+        )
+        if connection.target_node in source_component:
+            connection.path = None
+            connection.routed = True
+            self._stats.hard_routes += 1
+            self._record("route", connection.net_name, "already connected")
+            return True
+        target_component = self._grid.connected_component(
+            net_id, tuple(connection.target_node)
+        )
+        sources = [tuple(node) for node in source_component]
+        targets = [tuple(node) for node in target_component]
+
+        hard = find_path(
+            self._grid, net_id, sources, targets, cost=self.config.cost
+        )
+        self._stats.expansions += hard.expansions
+        if hard.found:
+            self._commit(connection, hard.path)
+            self._stats.hard_routes += 1
+            self._record("route", connection.net_name, f"cost={hard.cost}")
+            return True
+
+        if not (self.config.enable_weak or self.config.enable_strong):
+            return False
+
+        escalation = {
+            frozen_net: rips * self.config.rip_escalation
+            for frozen_net, rips in self._net_rips.items()
+        }
+        soft = find_path(
+            self._grid,
+            net_id,
+            sources,
+            targets,
+            cost=self.config.cost,
+            allow_conflicts=True,
+            frozen_nets=frozenset(self._frozen),
+            net_penalties=escalation,
+        )
+        self._stats.expansions += soft.expansions
+        if not soft.found:
+            return False
+        victims = self._victims_of(soft.conflict_nodes)
+        if victims is None:
+            return False
+        if not victims:
+            # No actual conflicts: the soft search simply looked further
+            # than the capped hard search.  Commit directly.
+            self._commit(connection, soft.path)
+            self._stats.hard_routes += 1
+            self._record("route", connection.net_name, "late find")
+            return True
+
+        if (
+            self.config.enable_weak
+            and len(victims) <= self.config.weak_victim_limit
+        ):
+            if self._try_weak(connection, soft.path, victims):
+                return True
+
+        if (
+            self.config.enable_strong
+            and len(victims) <= self.config.strong_victim_limit
+        ):
+            if connection.chain_depth >= self.config.max_chain_depth:
+                # Cut the chain — but a cut is a *deferral*, not a failure:
+                # the connection rejoins the back of the queue at depth 0.
+                # Deferrals are budget-bounded, and every eventual strong
+                # modification still burns rip budget, so termination holds.
+                if connection.deferrals < self.config.max_deferrals:
+                    connection.deferrals += 1
+                    connection.chain_depth = 0
+                    queue.append(connection)
+                    self._record("defer", connection.net_name)
+                    return True
+                return False
+            self._do_strong(connection, soft.path, victims, queue)
+            return True
+        return False
+
+    def _try_weak(
+        self,
+        connection: Connection,
+        path: GridPath,
+        victims: List[Connection],
+    ) -> bool:
+        """Displace ``victims``; keep only if everything reroutes at once."""
+        snapshot = self._grid.clone()
+        saved_claims = {
+            node: set(conns) for node, conns in self._claims.items()
+        }
+        affected_nets = {victim.net_id for victim in victims}
+        watched: List[Connection] = [connection]
+        for net_id in affected_nets:
+            watched.extend(self._net_connections.get(net_id, []))
+        saved_state = [(c, c.path, c.routed) for c in watched]
+
+        for victim in victims:
+            self._rip(victim)
+        detached = self._cascade_rip(affected_nets)
+        self._commit(connection, path)
+        displaced = victims + detached
+        displaced_ok = True
+        for victim in sorted(displaced, key=lambda v: v.estimated_length):
+            if not self._reroute_hard(victim):
+                displaced_ok = False
+                break
+        if displaced_ok:
+            self._stats.weak_modifications += 1
+            self._record(
+                "weak",
+                connection.net_name,
+                f"displaced {sorted(v.net_name for v in displaced)}",
+            )
+            return True
+        # All-or-nothing: undo the whole attempt.
+        self._grid.restore(snapshot)
+        self._claims = saved_claims
+        for conn, old_path, old_routed in saved_state:
+            conn.path = old_path
+            conn.routed = old_routed
+        self._stats.weak_rejections += 1
+        return False
+
+    def _do_strong(
+        self,
+        connection: Connection,
+        path: GridPath,
+        victims: List[Connection],
+        queue: Deque[Connection],
+    ) -> None:
+        """Rip ``victims``, commit the blocked connection, re-queue victims."""
+        for victim in victims:
+            self._rip(victim)
+            victim.rips += 1
+            self._stats.ripped_connections += 1
+            rips = self._net_rips.get(victim.net_id, 0) + 1
+            self._net_rips[victim.net_id] = rips
+            if rips >= self._budgets.get(victim.net_id, 0):
+                self._frozen.add(victim.net_id)
+        detached = self._cascade_rip({v.net_id for v in victims})
+        self._commit(connection, path)
+        self._stats.strong_modifications += 1
+        self._record(
+            "strong",
+            connection.net_name,
+            f"ripped {sorted(v.net_name for v in victims + detached)}",
+        )
+        # Victims reroute next, shortest first at the head of the queue.
+        for victim in sorted(
+            victims + detached,
+            key=lambda v: v.estimated_length,
+            reverse=True,
+        ):
+            victim.chain_depth = connection.chain_depth + 1
+            queue.appendleft(victim)
+
+    def _reroute_hard(self, connection: Connection) -> bool:
+        """Plain hard reroute used for displaced victims."""
+        net_id = connection.net_id
+        source_component = self._grid.connected_component(
+            net_id, tuple(connection.source_node)
+        )
+        if connection.target_node in source_component:
+            connection.path = None
+            connection.routed = True
+            return True
+        target_component = self._grid.connected_component(
+            net_id, tuple(connection.target_node)
+        )
+        result = find_path(
+            self._grid,
+            net_id,
+            [tuple(n) for n in source_component],
+            [tuple(n) for n in target_component],
+            cost=self.config.cost,
+        )
+        self._stats.expansions += result.expansions
+        if not result.found:
+            return False
+        self._commit(connection, result.path)
+        self._record("reroute", connection.net_name, "displaced")
+        return True
+
+    # ------------------------------------------------------------------
+    # Grid bookkeeping
+    # ------------------------------------------------------------------
+    def _commit(self, connection: Connection, path: GridPath) -> None:
+        self._grid.commit_path(connection.net_id, path)
+        for node in path:
+            self._claims.setdefault(tuple(node), set()).add(connection)
+        connection.path = path
+        connection.routed = True
+
+    def _rip(self, connection: Connection) -> None:
+        if connection.path is not None:
+            self._grid.remove_path(connection.net_id, connection.path)
+            for node in connection.path:
+                owners = self._claims.get(tuple(node))
+                if owners is not None:
+                    owners.discard(connection)
+                    if not owners:
+                        del self._claims[tuple(node)]
+        connection.path = None
+        connection.routed = False
+
+    def _cascade_rip(self, net_ids: Iterable[int]) -> List[Connection]:
+        """Un-route siblings whose endpoints were split by earlier rips.
+
+        Repeats to a fixpoint: ripping one orphaned sibling can orphan the
+        next.  Cascade rips do not count against the rip budget — they are
+        a bounded consequence of an already-budgeted strong modification.
+        """
+        detached: List[Connection] = []
+        net_ids = set(net_ids)
+        changed = True
+        while changed:
+            changed = False
+            for net_id in net_ids:
+                for conn in self._net_connections.get(net_id, []):
+                    if not conn.routed:
+                        continue
+                    component = self._grid.connected_component(
+                        net_id, tuple(conn.source_node)
+                    )
+                    if conn.target_node not in component:
+                        self._rip(conn)
+                        detached.append(conn)
+                        changed = True
+        return detached
+
+    def _victims_of(
+        self, conflict_nodes: Sequence[Node]
+    ) -> Optional[List[Connection]]:
+        """Connections that own the conflict nodes (None when unrippable)."""
+        victims: Set[Connection] = set()
+        for node in conflict_nodes:
+            owners = self._claims.get(tuple(node))
+            if not owners:
+                # Foreign copper with no registered connection (should not
+                # happen; pins are excluded by the search).  Refuse the plan.
+                return None
+            victims.update(owners)
+        return sorted(victims, key=lambda c: (c.net_name, c.estimated_length))
+
+    def _commit_pre_routed(
+        self, pre_routed: Dict[str, List[GridPath]]
+    ) -> List[Connection]:
+        fixed: List[Connection] = []
+        for net_name in sorted(pre_routed):
+            net_id = self.problem.net_id(net_name)
+            for path in pre_routed[net_name]:
+                start, end = path.start, path.end
+                connection = Connection(
+                    net_name=net_name,
+                    net_id=net_id,
+                    source_pin=Pin(start.x, start.y, Layer(start.layer)),
+                    target_pin=Pin(end.x, end.y, Layer(end.layer)),
+                )
+                try:
+                    self._commit(connection, path)
+                except GridError as exc:
+                    raise ValueError(
+                        f"pre-routed path for {net_name!r} is illegal: {exc}"
+                    ) from None
+                fixed.append(connection)
+        return fixed
+
+    # ------------------------------------------------------------------
+    # Best-state bookkeeping
+    # ------------------------------------------------------------------
+    def _note_best_state(self, connections: List[Connection]) -> None:
+        """Snapshot the grid whenever a new completion record is reached."""
+        if not self.config.keep_best_state:
+            return
+        routed = sum(1 for c in connections if c.routed)
+        if routed > self._best_routed:
+            self._best_routed = routed
+            self._best_snapshot = (
+                self._grid.clone(),
+                {node: set(owners) for node, owners in self._claims.items()},
+                [(c, c.path, c.routed) for c in connections],
+            )
+
+    def _restore_best_state(self, connections: List[Connection]) -> None:
+        """Roll back to the best snapshot if the final state is worse."""
+        if self._best_snapshot is None:
+            return
+        routed = sum(1 for c in connections if c.routed)
+        if routed >= self._best_routed:
+            return
+        grid, claims, states = self._best_snapshot
+        self._grid.restore(grid)
+        self._claims = claims
+        for connection, path, was_routed in states:
+            connection.path = path
+            connection.routed = was_routed
+        self._record(
+            "restore",
+            "*",
+            f"rolled back to best state ({self._best_routed} routed)",
+        )
+
+    # ------------------------------------------------------------------
+    # Misc helpers
+    # ------------------------------------------------------------------
+    def _iteration_bound(self, initial: int) -> int:
+        # Queue pops <= queue pushes.  Pushes: the initial connections (plus
+        # bounded retries), and per strong modification its victims plus
+        # cascade-detached siblings.  Strong modifications are bounded by the
+        # total rip budget; each re-queues at most ``strong_victim_limit``
+        # victims and ``strong_victim_limit * largest_net`` cascade rips.
+        total_budget = sum(self._budgets.values())
+        largest_net = max(
+            (len(c) for c in self._net_connections.values()), default=1
+        )
+        per_strong = self.config.strong_victim_limit * (1 + largest_net)
+        # Budgets are reset once per retry pass, so the strong-modification
+        # work multiplies by the (bounded) pass count.  Chain-depth
+        # deferrals add at most ``max_rips_per_net`` extra pops per
+        # connection per pass.
+        deferrals = initial * self.config.max_deferrals
+        return (1 + self.config.retry_passes) * (
+            initial + deferrals + total_budget * (2 + per_strong)
+        ) + 16
+
+    def _record(self, kind: str, net: str, detail: str = "") -> None:
+        open_connections = sum(
+            1
+            for conns in self._net_connections.values()
+            for conn in conns
+            if not conn.routed
+        )
+        self._events.append(
+            RouteEvent(
+                step=self._step,
+                kind=kind,
+                net=net,
+                detail=detail,
+                open_connections=open_connections,
+            )
+        )
+
+    def _router_tag(self) -> str:
+        if self.config.enable_weak and self.config.enable_strong:
+            return "mighty"
+        if self.config.enable_weak:
+            return "mighty-weak"
+        if self.config.enable_strong:
+            return "mighty-strong"
+        return "maze-sequential"
+
+
+def route_problem(
+    problem: RoutingProblem,
+    config: Optional[MightyConfig] = None,
+    pre_routed: Optional[Dict[str, List[GridPath]]] = None,
+) -> RouteResult:
+    """One-shot convenience wrapper around :class:`MightyRouter`."""
+    return MightyRouter(problem, config).route(pre_routed=pre_routed)

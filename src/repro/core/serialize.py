@@ -1,0 +1,97 @@
+"""JSON export of routing results.
+
+A :class:`~repro.core.result.RouteResult` carries live grid objects; this
+module flattens everything downstream tooling needs — per-connection paths,
+statistics, the event trace, per-net copper — into JSON-compatible
+primitives, and can reload the wiring onto a fresh grid (e.g. to render or
+verify a result produced elsewhere).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.result import RouteResult
+from repro.grid.path import GridPath
+from repro.grid.routing_grid import RoutingGrid
+from repro.netlist.io import problem_from_dict, problem_to_dict
+from repro.netlist.problem import RoutingProblem
+
+PathLike = Union[str, Path]
+
+
+def path_to_list(path: Optional[GridPath]) -> Optional[List[List[int]]]:
+    """A path as ``[[x, y, layer], ...]`` (None for trivial paths)."""
+    if path is None:
+        return None
+    return [[node.x, node.y, int(node.layer)] for node in path]
+
+
+def path_from_list(data: Optional[List[List[int]]]) -> Optional[GridPath]:
+    """Inverse of :func:`path_to_list`."""
+    if data is None:
+        return None
+    return GridPath([(x, y, layer) for x, y, layer in data])
+
+
+def result_to_dict(result: RouteResult) -> dict:
+    """Flatten a routing result to JSON-compatible primitives."""
+    return {
+        "router": result.router,
+        "success": result.success,
+        "problem": problem_to_dict(result.problem),
+        "stats": result.stats.as_dict(),
+        "connections": [
+            {
+                "net": connection.net_name,
+                "source": [connection.source_pin.x, connection.source_pin.y,
+                           int(connection.source_pin.layer)],
+                "target": [connection.target_pin.x, connection.target_pin.y,
+                           int(connection.target_pin.layer)],
+                "routed": connection.routed,
+                "rips": connection.rips,
+                "path": path_to_list(connection.path),
+            }
+            for connection in result.connections
+        ],
+        "events": [
+            {
+                "step": event.step,
+                "kind": event.kind,
+                "net": event.net,
+                "detail": event.detail,
+                "open": event.open_connections,
+            }
+            for event in result.events
+        ],
+    }
+
+
+def save_result(path: PathLike, result: RouteResult) -> None:
+    """Write a result dump to disk."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def rebuild_grid(payload: dict) -> RoutingGrid:
+    """Re-commit a dumped result's wiring onto a fresh grid.
+
+    Returns the reconstructed grid; combine with the payload's problem and
+    :func:`repro.analysis.verify.verify_routing` to re-check a foreign dump.
+    """
+    problem = problem_from_dict(payload["problem"])
+    grid = problem.build_grid()
+    ids = problem.net_ids()
+    for entry in payload["connections"]:
+        path = path_from_list(entry["path"])
+        if path is not None:
+            grid.commit_path(ids[entry["net"]], path)
+    return grid
+
+
+def load_result_grid(path: PathLike) -> tuple:
+    """Read a dump and return ``(problem, grid)`` ready for verification."""
+    payload = json.loads(Path(path).read_text())
+    problem: RoutingProblem = problem_from_dict(payload["problem"])
+    return problem, rebuild_grid(payload)

@@ -1,0 +1,107 @@
+"""Axis-parallel wire segments ("sticks")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Segment:
+    """A closed axis-parallel segment between two lattice points.
+
+    The endpoints are normalised so ``a <= b`` in ``(x, y)`` order, which
+    makes equal segments compare equal regardless of construction order.
+    A degenerate segment (``a == b``) is permitted and counts as both
+    horizontal and vertical; it is how a single-cell stub is modelled.
+    """
+
+    a: Point
+    b: Point
+
+    def __init__(self, a: Point, b: Point) -> None:
+        a, b = Point(*a), Point(*b)
+        if a.x != b.x and a.y != b.y:
+            raise ValueError(f"segment {a!r}-{b!r} is not axis-parallel")
+        if (a.x, a.y) > (b.x, b.y):
+            a, b = b, a
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when both endpoints share a ``y`` coordinate."""
+        return self.a.y == self.b.y
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when both endpoints share an ``x`` coordinate."""
+        return self.a.x == self.b.x
+
+    @property
+    def is_point(self) -> bool:
+        """True for the degenerate single-point segment."""
+        return self.a == self.b
+
+    @property
+    def length(self) -> int:
+        """Number of unit steps spanned (0 for a degenerate segment)."""
+        return self.a.manhattan_to(self.b)
+
+    def points(self) -> Iterator[Point]:
+        """Yield every lattice point on the segment, endpoints included."""
+        if self.is_horizontal:
+            for x in range(self.a.x, self.b.x + 1):
+                yield Point(x, self.a.y)
+        else:
+            for y in range(self.a.y, self.b.y + 1):
+                yield Point(self.a.x, y)
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` lies on the segment (endpoints included)."""
+        p = Point(*p)
+        if self.is_horizontal and p.y == self.a.y:
+            return self.a.x <= p.x <= self.b.x
+        if self.is_vertical and p.x == self.a.x:
+            return self.a.y <= p.y <= self.b.y
+        return False
+
+    def overlaps(self, other: "Segment") -> bool:
+        """True when the two segments share at least one lattice point."""
+        return self.intersection(other) is not None
+
+    def intersection(self, other: "Segment") -> Optional["Segment"]:
+        """Shared portion of two segments, or ``None``.
+
+        Collinear overlaps return the overlapping sub-segment; a perpendicular
+        crossing returns the degenerate point segment at the crossing.
+        """
+        # Perpendicular (or point-vs-anything) case first.
+        for p, q in ((self, other), (other, self)):
+            if p.is_point:
+                return p if q.contains(p.a) else None
+        if self.is_horizontal != other.is_horizontal:
+            h, v = (self, other) if self.is_horizontal else (other, self)
+            cross = Point(v.a.x, h.a.y)
+            if h.contains(cross) and v.contains(cross):
+                return Segment(cross, cross)
+            return None
+        # Parallel case: must be collinear to overlap.
+        if self.is_horizontal:
+            if self.a.y != other.a.y:
+                return None
+            lo, hi = max(self.a.x, other.a.x), min(self.b.x, other.b.x)
+            if lo > hi:
+                return None
+            return Segment(Point(lo, self.a.y), Point(hi, self.a.y))
+        if self.a.x != other.a.x:
+            return None
+        lo, hi = max(self.a.y, other.a.y), min(self.b.y, other.b.y)
+        if lo > hi:
+            return None
+        return Segment(Point(self.a.x, lo), Point(self.a.x, hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment(({self.a.x},{self.a.y})-({self.b.x},{self.b.y}))"

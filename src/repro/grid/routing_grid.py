@@ -1,0 +1,321 @@
+"""Occupancy bookkeeping for the two-layer routing fabric.
+
+The grid is the single source of truth about who owns which copper.  Every
+router in the library — Mighty, the channel baselines, the naive maze
+switchbox router — commits its result through :meth:`RoutingGrid.commit_path`
+so that one verifier and one metrics module can judge them all.
+
+Rip-up support is the delicate part: two connections of the *same* net may
+legitimately share cells (a later connection is allowed to run along copper
+laid by an earlier one), so the grid keeps a per-net reference count for
+every node and via.  Ripping one connection only frees cells whose count
+drops to zero.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.region import RectilinearRegion
+from repro.grid.layers import Layer
+from repro.grid.path import GridNode, GridPath
+
+FREE = 0
+OBSTACLE = -1
+
+
+class GridError(RuntimeError):
+    """Raised when a commit/rip request is inconsistent with the grid."""
+
+
+class RoutingGrid:
+    """A ``width x height`` two-layer routing grid.
+
+    Parameters
+    ----------
+    width, height:
+        Grid extents; cells are addressed ``0 <= x < width``,
+        ``0 <= y < height``.
+    region:
+        Optional rectilinear routable region.  Cells outside it become
+        obstacles on both layers.  The region's bounding box must fit within
+        the grid and use non-negative coordinates.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        region: Optional[RectilinearRegion] = None,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"grid extents must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._occ = np.full((2, height, width), FREE, dtype=np.int32)
+        self._via = np.full((height, width), FREE, dtype=np.int32)
+        self._pin = np.full((2, height, width), FREE, dtype=np.int32)
+        self._usage: Dict[int, Counter] = defaultdict(Counter)
+        self._via_usage: Dict[int, Counter] = defaultdict(Counter)
+        if region is not None:
+            bbox = region.bbox
+            if bbox.x0 < 0 or bbox.y0 < 0 or bbox.x1 > width or bbox.y1 > height:
+                raise ValueError(
+                    f"region bbox {bbox} does not fit a {width}x{height} grid"
+                )
+            blocked = ~np.pad(
+                region.mask(),
+                (
+                    (bbox.y0, height - bbox.y1),
+                    (bbox.x0, width - bbox.x1),
+                ),
+                constant_values=False,
+            )
+            self._occ[:, blocked] = OBSTACLE
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def in_bounds(self, x: int, y: int) -> bool:
+        """True when ``(x, y)`` addresses a cell of the grid."""
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def owner(self, node: Tuple[int, int, int]) -> int:
+        """Net id occupying ``node`` (``FREE`` or ``OBSTACLE`` otherwise)."""
+        x, y, layer = node
+        if not self.in_bounds(x, y):
+            return OBSTACLE
+        return int(self._occ[layer, y, x])
+
+    def via_owner(self, x: int, y: int) -> int:
+        """Net id of the via at ``(x, y)``, or ``FREE``."""
+        return int(self._via[y, x])
+
+    def pin_owner(self, node: Tuple[int, int, int]) -> int:
+        """Net id whose pin sits at ``node``, or ``FREE``."""
+        x, y, layer = node
+        if not self.in_bounds(x, y):
+            return FREE
+        return int(self._pin[layer, y, x])
+
+    def is_free(self, node: Tuple[int, int, int]) -> bool:
+        """True when ``node`` is unoccupied and not an obstacle."""
+        return self.owner(node) == FREE
+
+    def is_obstacle(self, node: Tuple[int, int, int]) -> bool:
+        """True when ``node`` is a hard obstacle (or out of bounds)."""
+        return self.owner(node) == OBSTACLE
+
+    def net_nodes(self, net_id: int) -> List[GridNode]:
+        """All nodes currently owned by ``net_id`` (pins included)."""
+        return sorted(self._usage.get(net_id, Counter()))
+
+    def net_vias(self, net_id: int) -> List[Point]:
+        """All via cells currently owned by ``net_id``."""
+        return sorted(self._via_usage.get(net_id, Counter()))
+
+    def net_ids(self) -> List[int]:
+        """Ids of nets that currently own at least one node."""
+        return sorted(n for n, usage in self._usage.items() if usage)
+
+    def occupancy(self) -> np.ndarray:
+        """Read-only occupancy array of shape ``(2, height, width)``.
+
+        Exposed for the maze searcher's hot loop; treat as immutable.
+        """
+        view = self._occ.view()
+        view.flags.writeable = False
+        return view
+
+    def pin_map(self) -> np.ndarray:
+        """Read-only pin-ownership array of shape ``(2, height, width)``."""
+        view = self._pin.view()
+        view.flags.writeable = False
+        return view
+
+    def via_map(self) -> np.ndarray:
+        """Read-only via-ownership array of shape ``(height, width)``."""
+        view = self._via.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def set_obstacle(
+        self, x: int, y: int, layer: Optional[Layer] = None
+    ) -> None:
+        """Turn a cell (on one layer, or both when ``layer is None``) into a
+        hard obstacle.  The cell must currently be free."""
+        layers: Iterable[int] = (0, 1) if layer is None else (int(layer),)
+        for l in layers:
+            current = int(self._occ[l, y, x])
+            if current not in (FREE, OBSTACLE):
+                raise GridError(
+                    f"cannot place obstacle over net {current} at ({x},{y},{l})"
+                )
+            self._occ[l, y, x] = OBSTACLE
+
+    def reserve_pin(self, net_id: int, node: Tuple[int, int, int]) -> None:
+        """Permanently claim ``node`` for ``net_id`` as a pin.
+
+        Pin nodes are never freed by rip-up, and the maze searcher treats
+        other nets' pins as impassable even during weak/strong modification
+        (pins cannot be pushed aside).
+        """
+        self._check_net_id(net_id)
+        x, y, layer = node
+        current = self.owner(node)
+        if current not in (FREE, net_id):
+            raise GridError(
+                f"pin of net {net_id} collides with {current} at {tuple(node)}"
+            )
+        key = GridNode(x, y, Layer(layer))
+        self._occ[layer, y, x] = net_id
+        self._pin[layer, y, x] = net_id
+        self._usage[net_id][key] += 1
+
+    def commit_path(self, net_id: int, path: GridPath) -> None:
+        """Claim every node and via of ``path`` for ``net_id``.
+
+        Every node must be free or already owned by ``net_id``; every via
+        cell must be via-free or already a via of ``net_id``.  The check is
+        performed in full before any mutation, so a failed commit leaves the
+        grid untouched.
+        """
+        self._check_net_id(net_id)
+        for node in path:
+            current = self.owner(node)
+            if current not in (FREE, net_id):
+                raise GridError(
+                    f"net {net_id} collides with {current} at {tuple(node)}"
+                )
+        for cell in path.via_cells():
+            current = self.via_owner(cell.x, cell.y)
+            if current not in (FREE, net_id):
+                raise GridError(
+                    f"via of net {net_id} collides with {current} at {tuple(cell)}"
+                )
+        usage = self._usage[net_id]
+        for node in path:
+            self._occ[node.layer, node.y, node.x] = net_id
+            usage[node] += 1
+        via_usage = self._via_usage[net_id]
+        for cell in path.via_cells():
+            self._via[cell.y, cell.x] = net_id
+            via_usage[cell] += 1
+
+    def remove_path(self, net_id: int, path: GridPath) -> None:
+        """Release ``path``'s claim; frees cells whose count drops to zero.
+
+        Pin nodes keep their standing pin reference and therefore survive.
+        """
+        usage = self._usage[net_id]
+        for node in path:
+            if usage[node] <= 0:
+                raise GridError(
+                    f"net {net_id} does not own {tuple(node)}; cannot rip"
+                )
+        for node in path:
+            usage[node] -= 1
+            if usage[node] == 0:
+                del usage[node]
+                self._occ[node.layer, node.y, node.x] = FREE
+        via_usage = self._via_usage[net_id]
+        for cell in path.via_cells():
+            if via_usage[cell] <= 0:
+                raise GridError(
+                    f"net {net_id} does not own via at {tuple(cell)}; cannot rip"
+                )
+            via_usage[cell] -= 1
+            if via_usage[cell] == 0:
+                del via_usage[cell]
+                self._via[cell.y, cell.x] = FREE
+
+    # ------------------------------------------------------------------
+    # Snapshots (used by weak modification's all-or-nothing semantics)
+    # ------------------------------------------------------------------
+    def clone(self) -> "RoutingGrid":
+        """Deep copy of the grid, usable as an undo point."""
+        copy = RoutingGrid.__new__(RoutingGrid)
+        copy.width = self.width
+        copy.height = self.height
+        copy._occ = self._occ.copy()
+        copy._via = self._via.copy()
+        copy._pin = self._pin.copy()
+        copy._usage = defaultdict(
+            Counter, {n: Counter(c) for n, c in self._usage.items()}
+        )
+        copy._via_usage = defaultdict(
+            Counter, {n: Counter(c) for n, c in self._via_usage.items()}
+        )
+        return copy
+
+    def restore(self, snapshot: "RoutingGrid") -> None:
+        """Reset this grid to the state captured by :meth:`clone`."""
+        if (snapshot.width, snapshot.height) != (self.width, self.height):
+            raise GridError("snapshot geometry mismatch")
+        self._occ[...] = snapshot._occ
+        self._via[...] = snapshot._via
+        self._pin[...] = snapshot._pin
+        self._usage = defaultdict(
+            Counter, {n: Counter(c) for n, c in snapshot._usage.items()}
+        )
+        self._via_usage = defaultdict(
+            Counter, {n: Counter(c) for n, c in snapshot._via_usage.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Connectivity helper (shared by the verifier and the router)
+    # ------------------------------------------------------------------
+    def connected_component(
+        self, net_id: int, seed: Tuple[int, int, int]
+    ) -> Set[GridNode]:
+        """Nodes of ``net_id`` reachable from ``seed`` through its copper.
+
+        Adjacency is a unit wire step on the same layer, or a layer change at
+        a cell where the net owns a via.
+        """
+        seed_node = GridNode(seed[0], seed[1], Layer(seed[2]))
+        if self.owner(seed_node) != net_id:
+            return set()
+        seen = {seed_node}
+        stack = [seed_node]
+        while stack:
+            node = stack.pop()
+            candidates = [
+                GridNode(node.x + 1, node.y, node.layer),
+                GridNode(node.x - 1, node.y, node.layer),
+                GridNode(node.x, node.y + 1, node.layer),
+                GridNode(node.x, node.y - 1, node.layer),
+            ]
+            if (
+                self.in_bounds(node.x, node.y)
+                and self.via_owner(node.x, node.y) == net_id
+            ):
+                candidates.append(GridNode(node.x, node.y, node.layer.other))
+            for cand in candidates:
+                if cand not in seen and self.owner(cand) == net_id:
+                    seen.add(cand)
+                    stack.append(cand)
+        return seen
+
+    @staticmethod
+    def _check_net_id(net_id: int) -> None:
+        if net_id <= 0:
+            raise ValueError(f"net ids must be positive, got {net_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nets = len([n for n in self._usage if self._usage[n]])
+        return f"RoutingGrid({self.width}x{self.height}, nets={nets})"
+
+    def iter_nodes(self) -> Iterator[GridNode]:
+        """Yield every grid node (both layers, row-major)."""
+        for layer in (Layer.HORIZONTAL, Layer.VERTICAL):
+            for y in range(self.height):
+                for x in range(self.width):
+                    yield GridNode(x, y, layer)

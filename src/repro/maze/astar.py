@@ -1,0 +1,218 @@
+"""A* path search on the two-layer routing grid.
+
+The searcher is the hot loop of the whole library, so it runs on flat numpy
+views and integer node indices (``idx = (layer * H + y) * W + x``) rather
+than on the object model.
+
+Soft-conflict mode is the crucial feature for the paper's algorithm: with
+``allow_conflicts=True`` the searcher may walk *through* cells owned by other
+nets, paying :attr:`~repro.maze.cost.CostModel.conflict_penalty` per foreign
+cell.  The cheapest walk then doubles as the cheapest *modification plan*:
+the foreign cells it touches identify exactly the victim connections that
+weak/strong modification must displace.  Pins are never crossable, and nets
+in ``frozen_nets`` (those whose rip budget is exhausted) are hard obstacles,
+which is what makes the overall control loop provably finite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.grid.path import GridPath
+from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
+from repro.maze.cost import CostModel
+
+Node = Tuple[int, int, int]  # (x, y, layer)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one A* query."""
+
+    path: Optional[GridPath]
+    cost: int = 0
+    expansions: int = 0
+    conflict_nodes: List[Node] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """True when a path was found."""
+        return self.path is not None
+
+
+def find_path(
+    grid: RoutingGrid,
+    net_id: int,
+    sources: Sequence[Node],
+    targets: Iterable[Node],
+    cost: Optional[CostModel] = None,
+    allow_conflicts: bool = False,
+    frozen_nets: FrozenSet[int] = frozenset(),
+    net_penalties: Optional[dict] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """Cheapest legal walk from any source node to any target node.
+
+    Parameters
+    ----------
+    grid:
+        The routing fabric (read-only during the search).
+    net_id:
+        The net being routed; its own copper is free to traverse.
+    sources:
+        Start nodes (cost 0).  Each must be free or owned by ``net_id``.
+    targets:
+        Goal nodes; reaching any one of them ends the search.
+    cost:
+        Edge costs; defaults to :class:`CostModel()`.
+    allow_conflicts:
+        When true, cells owned by other *non-frozen*, *non-pin* nets are
+        passable at ``cost.conflict_penalty`` extra per cell.
+    frozen_nets:
+        Net ids that may never be crossed even in conflict mode.
+    net_penalties:
+        Extra per-cell penalty charged for crossing a specific net (the
+        router escalates this with each rip-up of the net, so oft-ripped
+        nets become progressively less attractive victims).
+    max_expansions:
+        Safety valve; defaults to ``8 * cells``.
+
+    Returns
+    -------
+    SearchResult
+        ``result.path is None`` when no walk exists.  In conflict mode,
+        ``result.conflict_nodes`` lists the foreign nodes the chosen walk
+        occupies (the modification plan's victims).
+    """
+    model = cost or CostModel()
+    width, height = grid.width, grid.height
+    plane = width * height
+    n_nodes = 2 * plane
+
+    target_list = [(int(t[0]), int(t[1]), int(t[2])) for t in targets]
+    if not target_list:
+        raise ValueError("no targets given")
+    if not sources:
+        raise ValueError("no sources given")
+    if max_expansions is None:
+        max_expansions = 8 * plane
+
+    occ = grid.occupancy().reshape(-1)  # (layer, y, x) C-order
+    pin = grid.pin_map().reshape(-1)
+
+    target_idx: Set[int] = {
+        (layer * height + y) * width + x for x, y, layer in target_list
+    }
+    tx0 = min(t[0] for t in target_list)
+    tx1 = max(t[0] for t in target_list)
+    ty0 = min(t[1] for t in target_list)
+    ty1 = max(t[1] for t in target_list)
+
+    step = model.step_cost
+    wrong = model.step_cost + model.wrong_way_penalty
+    via_cost = model.via_cost
+    base_penalty = model.conflict_penalty
+    penalties = net_penalties or {}
+    frozen = frozen_nets
+
+    # Per-layer axis costs: layer 0 runs east-west, layer 1 north-south.
+    dx_cost = (step, wrong)
+    dy_cost = (wrong, step)
+
+    INF = 1 << 60
+    best = {}
+    parents = {}
+    frontier: List[Tuple[int, int, int]] = []
+
+    def heuristic(x: int, y: int) -> int:
+        dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
+        dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
+        return (dx + dy) * step
+
+    for node in sources:
+        x, y, layer = int(node[0]), int(node[1]), int(node[2])
+        if not (0 <= x < width and 0 <= y < height):
+            raise ValueError(f"source {tuple(node)} out of bounds")
+        index = (layer * height + y) * width + x
+        owner = int(occ[index])
+        if owner != FREE and owner != net_id:
+            raise ValueError(
+                f"source {tuple(node)} is not available to net {net_id} "
+                f"(owner {owner})"
+            )
+        if best.get(index, INF) > 0:
+            best[index] = 0
+            heapq.heappush(frontier, (heuristic(x, y), 0, index))
+
+    expansions = 0
+    goal = -1
+    goal_cost = 0
+
+    while frontier:
+        f, g, index = heapq.heappop(frontier)
+        if best.get(index, -1) != g:
+            continue  # stale entry
+        if index in target_idx:
+            goal, goal_cost = index, g
+            break
+        expansions += 1
+        if expansions > max_expansions:
+            break
+        layer, rest = divmod(index, plane)
+        y, x = divmod(rest, width)
+        hx = dx_cost[layer]
+        hy = dy_cost[layer]
+        neighbours = (
+            (index + 1, hx, x + 1, y) if x + 1 < width else None,
+            (index - 1, hx, x - 1, y) if x > 0 else None,
+            (index + width, hy, x, y + 1) if y + 1 < height else None,
+            (index - width, hy, x, y - 1) if y > 0 else None,
+            (index + plane, via_cost, x, y)
+            if layer == 0
+            else (index - plane, via_cost, x, y),
+        )
+        for move in neighbours:
+            if move is None:
+                continue
+            succ, move_cost, sx, sy = move
+            owner = int(occ[succ])
+            if owner == FREE or owner == net_id:
+                extra = 0
+            elif owner == OBSTACLE or not allow_conflicts:
+                continue
+            elif owner in frozen or int(pin[succ]) != 0:
+                continue
+            else:
+                extra = base_penalty + penalties.get(owner, 0)
+            new_g = g + move_cost + extra
+            if new_g < best.get(succ, INF):
+                best[succ] = new_g
+                parents[succ] = index
+                heapq.heappush(
+                    frontier, (new_g + heuristic(sx, sy), new_g, succ)
+                )
+
+    if goal < 0:
+        return SearchResult(path=None, expansions=expansions)
+
+    indices = [goal]
+    while indices[-1] in parents:
+        indices.append(parents[indices[-1]])
+    indices.reverse()
+    nodes: List[Node] = []
+    conflicts: List[Node] = []
+    for index in indices:
+        layer, rest = divmod(index, plane)
+        y, x = divmod(rest, width)
+        nodes.append((x, y, layer))
+        owner = int(occ[index])
+        if owner not in (FREE, OBSTACLE, net_id):
+            conflicts.append((x, y, layer))
+    return SearchResult(
+        path=GridPath(nodes),
+        cost=goal_cost,
+        expansions=expansions,
+        conflict_nodes=conflicts,
+    )

@@ -1,0 +1,49 @@
+"""The routing cost model.
+
+All costs are small non-negative integers so the A* arithmetic stays exact.
+A wire step costs :attr:`CostModel.step_cost`, plus
+:attr:`CostModel.wrong_way_penalty` when it runs against the layer's grain.
+A layer change costs :attr:`CostModel.via_cost`.  During weak/strong
+modification searches, entering a cell owned by another (rippable) net adds
+:attr:`CostModel.conflict_penalty` — the knob that makes the searcher prefer
+empty fabric, then single-victim plans, then multi-victim plans, exactly the
+preference order the paper describes for its modification machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Integer edge costs for the grid searcher."""
+
+    step_cost: int = 1
+    wrong_way_penalty: int = 2
+    via_cost: int = 4
+    conflict_penalty: int = 50
+
+    def __post_init__(self) -> None:
+        if self.step_cost < 1:
+            raise ValueError("step_cost must be at least 1")
+        for attr in ("wrong_way_penalty", "via_cost", "conflict_penalty"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    def wire_step(self, with_grain: bool) -> int:
+        """Cost of one wire step, given whether it follows the layer grain."""
+        if with_grain:
+            return self.step_cost
+        return self.step_cost + self.wrong_way_penalty
+
+    def with_conflict_penalty(self, penalty: int) -> "CostModel":
+        """Copy of the model with a different conflict penalty."""
+        return replace(self, conflict_penalty=penalty)
+
+    @staticmethod
+    def uniform() -> "CostModel":
+        """All moves cost 1 — makes A* agree with the Lee router."""
+        return CostModel(
+            step_cost=1, wrong_way_penalty=0, via_cost=1, conflict_penalty=0
+        )

@@ -1,0 +1,29 @@
+"""Routing problems: nets, pins, channels, switchboxes, I/O and generators.
+
+Three problem flavours cover the paper's generality claim:
+
+* :class:`~repro.netlist.channel.ChannelSpec` — the classical two-row channel
+  (pins on the top and bottom shores), with density / vertical-constraint
+  analysis.
+* :class:`~repro.netlist.switchbox.SwitchboxSpec` — pins on all four sides of
+  a rectangular box.
+* :class:`~repro.netlist.problem.RoutingProblem` — the general case: any
+  rectilinear region, obstacles of any shape, pins on the boundary or inside.
+
+Channels and switchboxes lower onto :class:`RoutingProblem`, which in turn
+builds the :class:`~repro.grid.RoutingGrid` every router runs on.
+"""
+
+from repro.netlist.channel import ChannelSpec
+from repro.netlist.net import Net, Pin
+from repro.netlist.problem import ProblemError, RoutingProblem
+from repro.netlist.switchbox import SwitchboxSpec
+
+__all__ = [
+    "ChannelSpec",
+    "Net",
+    "Pin",
+    "ProblemError",
+    "RoutingProblem",
+    "SwitchboxSpec",
+]

@@ -1,0 +1,249 @@
+"""Small deterministic instances used by tests, examples and docs.
+
+Each instance is hand-authored to exercise one classic phenomenon of the
+detailed-routing literature (vertical-constraint cycles, congestion that
+forces rip-up, obstacle detours, ...).  They are tiny on purpose: a human
+can check the routed output by eye.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+from repro.geometry.region import RectilinearRegion
+from repro.grid.layers import Layer
+from repro.netlist.channel import ChannelSpec
+from repro.netlist.net import Net, Pin
+from repro.netlist.problem import Obstacle, RoutingProblem
+from repro.netlist.switchbox import SwitchboxSpec
+
+
+def simple_channel() -> ChannelSpec:
+    """A 6-column, 5-net channel with a VCG chain but no cycle.
+
+    Density 3; routable at density by every router in the library.
+    """
+    return ChannelSpec(
+        top=(1, 2, 3, 4, 0, 5),
+        bottom=(2, 3, 4, 0, 5, 1),
+        name="simple6",
+    )
+
+
+def straight_channel() -> ChannelSpec:
+    """Trivial channel: every net drops straight across; density 0."""
+    return ChannelSpec(
+        top=(1, 2, 0, 3),
+        bottom=(1, 2, 0, 3),
+        name="straight4",
+    )
+
+
+def vcg_cycle_channel() -> ChannelSpec:
+    """The classic two-net vertical-constraint cycle.
+
+    Column 0 forces net 1 above net 2, column 1 forces net 2 above net 1.
+    The plain left-edge algorithm must fail; doglegging routers succeed by
+    using the free third column.
+    """
+    return ChannelSpec(
+        top=(1, 2, 0),
+        bottom=(2, 1, 0),
+        name="vcg-cycle",
+    )
+
+
+def dogleg_channel() -> ChannelSpec:
+    """The dogleg motivation in miniature (after Deutsch 1976).
+
+    Net 3 is a 3-pin net in the middle of a vertical-constraint chain
+    ``1 > 3 > 2``.  With one straight trunk per net the chain forces three
+    tracks although density is 2; splitting net 3 at its interior pin
+    (column 2) lets the two pieces share tracks with nets 1 and 2.  So the
+    plain left-edge router needs 3 tracks here and the dogleg router needs
+    exactly density (2).
+    """
+    return ChannelSpec(
+        top=(1, 1, 0, 3, 0),
+        bottom=(0, 3, 3, 2, 2),
+        name="dogleg5",
+    )
+
+
+def small_switchbox() -> SwitchboxSpec:
+    """A 6x5, 4-net switchbox routable without any modification."""
+    return SwitchboxSpec(
+        width=6,
+        height=5,
+        top=(0, 1, 2, 0, 3, 0),
+        bottom=(0, 2, 1, 0, 4, 0),
+        left=(0, 3, 0, 4, 0),
+        right=(0, 4, 0, 1, 0),
+        name="small6x5",
+    )
+
+
+def crossing_switchbox() -> SwitchboxSpec:
+    """A 4x4 switchbox whose two nets must cross (exercises the two-layer
+    model: one crossing, zero rip-ups required)."""
+    return SwitchboxSpec(
+        width=4,
+        height=4,
+        top=(0, 1, 0, 0),
+        bottom=(0, 0, 1, 0),
+        left=(0, 2, 0, 0),
+        right=(0, 0, 2, 0),
+        name="crossing4x4",
+    )
+
+
+def contention_switchbox() -> SwitchboxSpec:
+    """A 7x5 switchbox engineered so a greedy net ordering walls off a later
+    net: without weak/strong modification a sequential maze router fails for
+    some orderings.  Mighty's rip-up machinery must recover."""
+    return SwitchboxSpec(
+        width=7,
+        height=5,
+        top=(1, 2, 3, 4, 5, 0, 0),
+        bottom=(0, 0, 4, 3, 2, 5, 1),
+        left=(0, 6, 0, 6, 0),
+        right=(0, 0, 6, 0, 0),
+        name="contention7x5",
+    )
+
+
+def staircase_channel() -> ChannelSpec:
+    """A long VCG chain without a cycle: each column forces the next net
+    below the previous one.  Routable by everyone, but the left-edge family
+    pays the full chain depth while doglegging/maze routers stay near
+    density."""
+    return ChannelSpec(
+        top=(1, 2, 3, 4, 5, 0, 0),
+        bottom=(0, 1, 2, 3, 4, 5, 0),
+        name="staircase7",
+    )
+
+
+def two_sided_congestion_channel() -> ChannelSpec:
+    """Density concentrated in the middle columns from both shores —
+    the profile every congestion-aware router is tuned for."""
+    return ChannelSpec(
+        top=(1, 2, 3, 4, 4, 3, 2, 1),
+        bottom=(0, 3, 4, 1, 2, 1, 4, 0),
+        name="hump8",
+    )
+
+
+def terminal_intensive_switchbox() -> SwitchboxSpec:
+    """Every boundary slot carries a pin (the 'terminal intensive' pattern
+    from the switchbox benchmark family), arranged in matched pairs so the
+    instance is trivially feasible yet packs the boundary solid."""
+    # One net per column (straight vertical) and one per row (straight
+    # horizontal): the unique fully-packed boundary that stays feasible —
+    # any net owning two columns (or two rows) would need a link through
+    # fabric the other straights already saturate.
+    width, height = 8, 6
+    top = tuple(1 + c for c in range(width))
+    bottom = tuple(1 + c for c in range(width))
+    left = tuple(1 + width + r for r in range(height))
+    right = tuple(1 + width + r for r in range(height))
+    return SwitchboxSpec(
+        width=width,
+        height=height,
+        top=top,
+        bottom=bottom,
+        left=left,
+        right=right,
+        name="terminal-intensive8x6",
+    )
+
+
+def corner_turn_switchbox() -> SwitchboxSpec:
+    """Nets that must turn corners (left pin to top pin, bottom to right):
+    the minimal exercise of the two-layer via machinery."""
+    return SwitchboxSpec(
+        width=6,
+        height=6,
+        top=(0, 1, 0, 0, 2, 0),
+        bottom=(0, 3, 0, 4, 0, 0),
+        left=(0, 1, 0, 3, 0, 0),
+        right=(0, 0, 4, 0, 2, 0),
+        name="corner-turn6x6",
+    )
+
+
+def obstacle_region_problem() -> RoutingProblem:
+    """A 12x8 region with a notch, an interior obstacle and an interior pin.
+
+    Exercises the paper's generality claims in one deterministic instance:
+    rectilinear boundary (the notch), obstruction of arbitrary shape (the
+    block), and a pin inside the region.
+    """
+    region = RectilinearRegion(
+        [Rect(0, 0, 12, 8)],
+        remove=[Rect(0, 5, 3, 8)],  # notch in the top-left corner
+    )
+    nets = [
+        Net(
+            "a",
+            (
+                Pin(0, 0, Layer.VERTICAL),
+                Pin(11, 7, Layer.VERTICAL),
+            ),
+        ),
+        Net(
+            "b",
+            (
+                Pin(0, 4, Layer.HORIZONTAL),
+                Pin(6, 3, Layer.HORIZONTAL),  # interior pin
+                Pin(11, 0, Layer.HORIZONTAL),
+            ),
+        ),
+        Net(
+            "c",
+            (
+                Pin(4, 7, Layer.VERTICAL),
+                Pin(4, 0, Layer.VERTICAL),
+            ),
+        ),
+    ]
+    obstacles = [Obstacle(Rect(7, 4, 10, 6))]  # block on both layers
+    return RoutingProblem(
+        width=12,
+        height=8,
+        nets=nets,
+        region=region,
+        obstacles=obstacles,
+        name="notched-region",
+    )
+
+
+def partially_routed_problem() -> RoutingProblem:
+    """A 10x6 open-field problem used to demonstrate routing in the presence
+    of pre-existing wiring (the "partially routed areas" claim): tests
+    pre-commit net ``fixed`` straight across before invoking the router."""
+    nets = [
+        Net(
+            "fixed",
+            (
+                Pin(0, 3, Layer.HORIZONTAL),
+                Pin(9, 3, Layer.HORIZONTAL),
+            ),
+        ),
+        Net(
+            "a",
+            (
+                Pin(2, 0, Layer.VERTICAL),
+                Pin(7, 5, Layer.VERTICAL),
+            ),
+        ),
+        Net(
+            "b",
+            (
+                Pin(5, 0, Layer.VERTICAL),
+                Pin(5, 5, Layer.VERTICAL),
+            ),
+        ),
+    ]
+    return RoutingProblem(
+        width=10, height=6, nets=nets, name="partially-routed"
+    )

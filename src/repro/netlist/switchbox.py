@@ -1,0 +1,147 @@
+"""Switchbox routing problems: pins on all four sides of a box.
+
+Conventions follow the classic switchbox benchmarks (Burstein's difficult
+switchbox, the dense switchbox, ...): a ``width x height`` box whose
+terminals sit on the boundary cells.  ``top``/``bottom`` are indexed by
+column, ``left``/``right`` by row; ``0`` means "no pin".  Top/bottom pins
+enter on the vertical layer, left/right pins on the horizontal layer, so a
+corner cell can legally host one pin from each family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.grid.layers import Layer
+from repro.netlist.net import Net, Pin
+from repro.netlist.problem import ProblemError, RoutingProblem
+
+
+@dataclass(frozen=True)
+class SwitchboxSpec:
+    """A switchbox instance.
+
+    ``top``/``bottom`` must have length ``width``; ``left``/``right`` length
+    ``height``.  Net numbers are positive integers, ``0`` marks an empty slot.
+    """
+
+    width: int
+    height: int
+    top: Tuple[int, ...]
+    bottom: Tuple[int, ...]
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+    name: str = "switchbox"
+
+    def __post_init__(self) -> None:
+        for attr in ("top", "bottom", "left", "right"):
+            object.__setattr__(
+                self, attr, tuple(int(v) for v in getattr(self, attr))
+            )
+        if self.width < 2 or self.height < 2:
+            raise ProblemError(
+                f"switchbox must be at least 2x2, got {self.width}x{self.height}"
+            )
+        if len(self.top) != self.width or len(self.bottom) != self.width:
+            raise ProblemError("top/bottom rows must have length == width")
+        if len(self.left) != self.height or len(self.right) != self.height:
+            raise ProblemError("left/right columns must have length == height")
+        sides = self.top + self.bottom + self.left + self.right
+        if any(v < 0 for v in sides):
+            raise ProblemError("net numbers must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def net_numbers(self) -> List[int]:
+        """Sorted distinct net numbers on any side."""
+        return sorted(
+            {v for v in self.top + self.bottom + self.left + self.right if v > 0}
+        )
+
+    def pin_nodes(self) -> Dict[int, List[Pin]]:
+        """Pins of every net, keyed by net number."""
+        result: Dict[int, List[Pin]] = {}
+        for column, net in enumerate(self.bottom):
+            if net:
+                result.setdefault(net, []).append(
+                    Pin(column, 0, Layer.VERTICAL)
+                )
+        for column, net in enumerate(self.top):
+            if net:
+                result.setdefault(net, []).append(
+                    Pin(column, self.height - 1, Layer.VERTICAL)
+                )
+        for row, net in enumerate(self.left):
+            if net:
+                result.setdefault(net, []).append(
+                    Pin(0, row, Layer.HORIZONTAL)
+                )
+        for row, net in enumerate(self.right):
+            if net:
+                result.setdefault(net, []).append(
+                    Pin(self.width - 1, row, Layer.HORIZONTAL)
+                )
+        return result
+
+    @property
+    def pin_count(self) -> int:
+        """Total number of pins on the box boundary."""
+        return sum(len(pins) for pins in self.pin_nodes().values())
+
+    def net_name(self, net: int) -> str:
+        """Canonical net name used in the lowered problem."""
+        return f"n{net}"
+
+    # ------------------------------------------------------------------
+    # Lowering and editing
+    # ------------------------------------------------------------------
+    def to_problem(self) -> RoutingProblem:
+        """Lower to a grid problem covering exactly the box."""
+        nets = [
+            Net(self.net_name(number), tuple(pins))
+            for number, pins in sorted(self.pin_nodes().items())
+        ]
+        return RoutingProblem(
+            width=self.width,
+            height=self.height,
+            nets=nets,
+            name=self.name,
+        )
+
+    def without_column(self, column: int) -> "SwitchboxSpec":
+        """Shrink the box by deleting an *empty* column.
+
+        Used by the minimum-width sweep that reproduces the paper's
+        "one less column than the original data" experiment.  The column
+        must carry no top or bottom pin.
+        """
+        if not 0 <= column < self.width:
+            raise ProblemError(f"column {column} out of range")
+        if self.top[column] or self.bottom[column]:
+            raise ProblemError(f"column {column} carries pins; cannot delete")
+        drop = lambda row: row[:column] + row[column + 1 :]  # noqa: E731
+        return SwitchboxSpec(
+            width=self.width - 1,
+            height=self.height,
+            top=drop(self.top),
+            bottom=drop(self.bottom),
+            left=self.left,
+            right=self.right,
+            name=f"{self.name}-col{column}",
+        )
+
+    def empty_columns(self) -> List[int]:
+        """Columns with neither a top nor a bottom pin."""
+        return [
+            c
+            for c in range(self.width)
+            if self.top[c] == 0 and self.bottom[c] == 0
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SwitchboxSpec({self.name!r}, {self.width}x{self.height}, "
+            f"nets={len(self.net_numbers())}, pins={self.pin_count})"
+        )

@@ -1,0 +1,23 @@
+"""Switchbox routing: the Mighty front-end and the no-rip-up baseline.
+
+Switchboxes are where rip-up earns its keep: pins on all four sides leave no
+spare shore to escape to, so a sequential maze router walls itself in.  The
+module also hosts the *minimum-width sweep* (experiment E2) that reproduces
+the paper's "Burstein's difficult switch box ... one less column" result
+shape: shrink the box column by column and record the narrowest box each
+router still completes.
+"""
+
+from repro.switchbox.greedy_box import BoxResult, GreedySwitchboxRouter
+from repro.switchbox.naive import route_switchbox, route_switchbox_naive
+from repro.switchbox.sweep import WidthSweepOutcome, minimum_routable_width, shrinking_sequence
+
+__all__ = [
+    "BoxResult",
+    "GreedySwitchboxRouter",
+    "WidthSweepOutcome",
+    "minimum_routable_width",
+    "route_switchbox",
+    "route_switchbox_naive",
+    "shrinking_sequence",
+]

@@ -1,0 +1,422 @@
+"""A greedy switchbox router (after Luk, INTEGRATION 1985).
+
+Luk extended the Rivest-Fiduccia greedy channel sweep to switchboxes: the
+left-edge pins seed the initial track contents, the sweep brings in
+top/bottom pins column by column, and — the switchbox-specific ingredient —
+every net with right-edge pins is *steered* toward its target rows so that
+it arrives exactly there at the final column.  Unlike a channel there are no
+extension columns: a net that cannot reach its targets in time fails.
+
+This is the library's published-algorithm comparator for Table 2 (the
+Mighty paper compares against [Luk85]); like the original it completes
+most practical boxes but has no recovery mechanism, so congested instances
+fail where the rip-up router succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.verify import VerificationReport, verify_routing
+from repro.geometry.point import Point
+from repro.grid.layers import Layer
+from repro.grid.path import GridPath, straight_path
+from repro.grid.routing_grid import GridError, RoutingGrid
+from repro.netlist.problem import RoutingProblem
+from repro.netlist.switchbox import SwitchboxSpec
+
+
+@dataclass
+class BoxResult:
+    """Outcome of one switchbox-routing attempt."""
+
+    spec: SwitchboxSpec
+    success: bool
+    router: str = "luk-greedy"
+    reason: str = ""
+    problem: Optional[RoutingProblem] = None
+    grid: Optional[RoutingGrid] = None
+    verification: Optional[VerificationReport] = None
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        verdict = "OK" if self.success else f"FAIL ({self.reason})"
+        return f"{self.router} on {self.spec.name}: {verdict}"
+
+
+@dataclass
+class _BoxState:
+    """Mutable sweep state (rows double as tracks)."""
+
+    width: int
+    height: int
+    row_net: List[int] = field(default_factory=list)
+    run_start: Dict[int, int] = field(default_factory=dict)
+    freed_at: Dict[int, int] = field(default_factory=dict)
+    held: Dict[int, Set[int]] = field(default_factory=dict)
+    targets: Dict[int, Set[int]] = field(default_factory=dict)
+    remaining: Dict[int, int] = field(default_factory=dict)
+    hwires: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    vwires: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.row_net = [0] * self.height
+
+    def claim(self, row: int, net: int, column: int) -> None:
+        self.row_net[row] = net
+        self.run_start[row] = column
+        self.held.setdefault(net, set()).add(row)
+
+    def release(self, row: int, column: int) -> None:
+        net = self.row_net[row]
+        self.hwires.append((net, row, self.run_start[row], column))
+        self.row_net[row] = 0
+        self.freed_at[row] = column
+        self.held[net].discard(row)
+
+    def claimable(self, row: int, column: int) -> bool:
+        return self.row_net[row] == 0 and self.freed_at.get(row, -1) < column
+
+
+class GreedySwitchboxRouter:
+    """Greedy column sweep with steering toward right-edge targets."""
+
+    name = "luk-greedy"
+
+    def route(self, spec: SwitchboxSpec) -> BoxResult:
+        """Sweep the box left to right; realise and verify on success."""
+        plan = self._sweep(spec)
+        if isinstance(plan, str):
+            return BoxResult(spec=spec, success=False, reason=plan)
+        return self._realize(spec, plan)
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+    def _sweep(self, spec: SwitchboxSpec):
+        state = _BoxState(spec.width, spec.height)
+        for net in spec.net_numbers():
+            state.held[net] = set()
+            state.targets[net] = set()
+        for row, net in enumerate(spec.left):
+            if net:
+                state.claim(row, net, 0)
+        for row, net in enumerate(spec.right):
+            if net:
+                state.targets[net].add(row)
+        for column in range(spec.width):
+            verticals: List[Tuple[int, int, int]] = []
+
+            def v_free(lo: int, hi: int, net: int) -> bool:
+                return all(
+                    other == net or hi < other_lo or lo > other_hi
+                    for other_lo, other_hi, other in verticals
+                )
+
+            def add_v(lo: int, hi: int, net: int) -> None:
+                verticals.append((lo, hi, net))
+                state.vwires.append((net, column, lo, hi))
+
+            error = self._bring_in(spec, state, column, v_free, add_v)
+            if error:
+                return error
+            self._collapse(spec, state, column, v_free, add_v)
+            if column == spec.width - 1:
+                error = self._join_targets(spec, state, column, v_free, add_v)
+                if error:
+                    return error
+            else:
+                self._steer(spec, state, column, v_free, add_v)
+                self._retire(spec, state, column)
+        leftover = [net for net, rows in state.held.items() if rows]
+        if leftover:
+            return f"nets {leftover} still hold rows at the right edge"
+        return state
+
+    def _pins_after(self, spec: SwitchboxSpec, net: int, column: int) -> int:
+        count = 0
+        for c in range(column, spec.width):
+            count += int(spec.top[c] == net) + int(spec.bottom[c] == net)
+        count += sum(1 for v in spec.right if v == net)
+        return count
+
+    def _free_row_near(self, state: _BoxState, column: int, near: int):
+        rows = sorted(
+            (r for r in range(state.height) if state.claimable(r, column)),
+            key=lambda r: (abs(r - near), r),
+        )
+        return rows[0] if rows else None
+
+    def _bring_in(self, spec, state: _BoxState, column: int, v_free, add_v):
+        top_row = spec.height - 1
+        pins = []
+        if spec.top[column]:
+            pins.append(("T", spec.top[column]))
+        if spec.bottom[column]:
+            pins.append(("B", spec.bottom[column]))
+        if len(pins) == 2 and pins[0][1] == pins[1][1]:
+            net = pins[0][1]
+            if not v_free(0, top_row, net):
+                return f"column {column} blocked for straight-through {net}"
+            add_v(0, top_row, net)
+            held = sorted(state.held[net])
+            for row in held[:-1]:
+                state.release(row, column)
+            if not held and (
+                self._pins_after(spec, net, column + 1) > 0
+                or state.targets[net]
+            ):
+                near = (
+                    min(state.targets[net])
+                    if state.targets[net]
+                    else top_row // 2
+                )
+                row = self._free_row_near(state, column, near)
+                if row is None:
+                    return f"no free row for net {net} at column {column}"
+                state.claim(row, net, column)
+            return None
+        if len(pins) == 1:
+            shore, net = pins[0]
+            candidates = self._pin_candidates(
+                state, net, shore, column, top_row, v_free
+            )
+            if not candidates:
+                return f"stuck at column {column} (net {net} {shore} pin)"
+            _, row, lo, hi = candidates[0]
+            if state.row_net[row] != net:
+                state.claim(row, net, column)
+            add_v(lo, hi, net)
+            return None
+        if len(pins) == 2:
+            # joint selection so one pin's vertical cannot wall the other
+            (shore_a, net_a), (shore_b, net_b) = pins
+            best = None
+            for ca in self._pin_candidates(
+                state, net_a, shore_a, column, top_row, v_free
+            ):
+                for cb in self._pin_candidates(
+                    state, net_b, shore_b, column, top_row, v_free
+                ):
+                    if ca[1] == cb[1]:
+                        continue
+                    if not (ca[3] < cb[2] or cb[3] < ca[2]):
+                        continue
+                    key = tuple(x + y for x, y in zip(ca[0], cb[0]))
+                    if best is None or key < best[0]:
+                        best = (key, ca, cb)
+            if best is None:
+                return f"stuck at column {column} (pin pair)"
+            for _, row, lo, hi in (best[1], best[2]):
+                net = net_a if (row, lo, hi) == best[1][1:] else net_b
+            for candidate, net in ((best[1], net_a), (best[2], net_b)):
+                _, row, lo, hi = candidate
+                if state.row_net[row] != net:
+                    state.claim(row, net, column)
+                add_v(lo, hi, net)
+        return None
+
+    def _pin_candidates(
+        self, state: _BoxState, net: int, shore: str, column: int,
+        top_row: int, v_free,
+    ):
+        """Feasible ``((split, gap, length), row, lo, hi)`` options."""
+        held_rows = state.held[net]
+        targets = state.targets[net]
+        anchor = held_rows or targets
+        result = []
+        for row in range(0, top_row + 1):
+            holds = state.row_net[row] == net
+            if not holds and not state.claimable(row, column):
+                continue
+            lo, hi = (row, top_row) if shore == "T" else (0, row)
+            if not v_free(lo, hi, net):
+                continue
+            split = 1 if (held_rows and not holds) else 0
+            gap = (
+                min(abs(row - a) for a in anchor) if (split or not held_rows) and anchor else 0
+            )
+            result.append(((split, gap, hi - lo), row, lo, hi))
+        result.sort()
+        return result
+
+    def _collapse(self, spec, state: _BoxState, column, v_free, add_v):
+        progress = True
+        while progress:
+            progress = False
+            for net in sorted(state.held):
+                rows = sorted(state.held[net])
+                if len(rows) < 2:
+                    continue
+                pairs = sorted(
+                    zip(rows, rows[1:]), key=lambda p: p[1] - p[0]
+                )
+                for low, high in pairs:
+                    if not v_free(low, high, net):
+                        continue
+                    add_v(low, high, net)
+                    keep, drop = self._keep_drop(state, net, low, high)
+                    state.release(drop, column)
+                    progress = True
+                    break
+
+    def _steer(self, spec, state: _BoxState, column, v_free, add_v):
+        """Move nets toward their right-edge target rows.
+
+        Tries to *jump* straight onto the target row (the joining vertical
+        legally crosses other trunks on the other layer — the greedy
+        family's split/collapse crossing trick); when the target row is
+        still occupied, drifts one row toward it instead.  A held target
+        row is never abandoned.
+        """
+        for net in sorted(state.held):
+            targets = state.targets[net]
+            if not targets or not state.held[net]:
+                continue
+            for target in sorted(targets):
+                if target in state.held[net]:
+                    continue
+                source = min(
+                    state.held[net], key=lambda r: (abs(r - target), r)
+                )
+                step = 1 if target > source else -1
+                landing = None
+                for row in (target, source + step):
+                    if row == source or not (0 <= row < state.height):
+                        continue
+                    if state.row_net[row] == net:
+                        landing = None
+                        break
+                    if not state.claimable(row, column):
+                        continue
+                    lo, hi = sorted((source, row))
+                    if v_free(lo, hi, net):
+                        landing = row
+                        break
+                if landing is None:
+                    continue
+                lo, hi = sorted((source, landing))
+                state.claim(landing, net, column)
+                add_v(lo, hi, net)
+                if source not in targets:
+                    state.release(source, column)
+
+    def _join_targets(self, spec, state: _BoxState, column, v_free, add_v):
+        """Final column: connect every net to all its right-edge pins."""
+        for net in sorted(state.held):
+            targets = state.targets[net]
+            rows = state.held[net]
+            if not targets:
+                for row in sorted(rows):
+                    state.release(row, column)
+                continue
+            if not rows:
+                return f"net {net} reached the right edge holding nothing"
+            anchor = min(
+                rows,
+                key=lambda r: min(abs(r - t) for t in targets),
+            )
+            span = sorted(targets | {anchor})
+            lo, hi = span[0], span[-1]
+            if lo != hi:
+                if not v_free(lo, hi, net):
+                    return (
+                        f"net {net} cannot join right-edge rows "
+                        f"{sorted(targets)}"
+                    )
+                add_v(lo, hi, net)
+            for row in sorted(rows):
+                state.release(row, column)
+        return None
+
+    def _keep_drop(self, state: _BoxState, net, low, high):
+        targets = state.targets[net]
+        if targets:
+            keep = min(
+                (low, high),
+                key=lambda r: min(abs(r - t) for t in targets),
+            )
+        else:
+            keep = min((low, high), key=lambda r: abs(r - state.height // 2))
+        drop = high if keep == low else low
+        return keep, drop
+
+    def _retire(self, spec, state: _BoxState, column: int) -> None:
+        for net in sorted(state.held):
+            rows = state.held[net]
+            if not rows:
+                continue
+            future = self._pins_after(spec, net, column + 1)
+            if future == 0 and not state.targets[net] and len(rows) == 1:
+                state.release(next(iter(rows)), column)
+
+    # ------------------------------------------------------------------
+    # Realisation
+    # ------------------------------------------------------------------
+    def _realize(self, spec: SwitchboxSpec, state: _BoxState) -> BoxResult:
+        problem = spec.to_problem()
+        grid = problem.build_grid()
+        ids = problem.net_ids()
+
+        def net_id(number: int) -> int:
+            return ids[spec.net_name(number)]
+
+        # Seed the via sets with the boundary pins so a joining vertical
+        # (or trunk) landing on a pin cell gets its via automatically.
+        h_cells: Dict[int, Set[Point]] = {}
+        v_cells: Dict[int, Set[Point]] = {}
+        for row, net in enumerate(spec.left):
+            if net:
+                h_cells.setdefault(net, set()).add(Point(0, row))
+        for row, net in enumerate(spec.right):
+            if net:
+                h_cells.setdefault(net, set()).add(Point(spec.width - 1, row))
+        for col, net in enumerate(spec.top):
+            if net:
+                v_cells.setdefault(net, set()).add(Point(col, spec.height - 1))
+        for col, net in enumerate(spec.bottom):
+            if net:
+                v_cells.setdefault(net, set()).add(Point(col, 0))
+        try:
+            for net, row, x0, x1 in state.hwires:
+                grid.commit_path(
+                    net_id(net),
+                    straight_path(
+                        Point(x0, row), Point(x1, row), Layer.HORIZONTAL
+                    ),
+                )
+                h_cells.setdefault(net, set()).update(
+                    Point(x, row) for x in range(x0, x1 + 1)
+                )
+            for net, x, y0, y1 in state.vwires:
+                grid.commit_path(
+                    net_id(net),
+                    straight_path(Point(x, y0), Point(x, y1), Layer.VERTICAL),
+                )
+                v_cells.setdefault(net, set()).update(
+                    Point(x, y) for y in range(y0, y1 + 1)
+                )
+            for net, cells in h_cells.items():
+                for cell in sorted(cells & v_cells.get(net, set())):
+                    grid.commit_path(
+                        net_id(net),
+                        GridPath([(cell.x, cell.y, 0), (cell.x, cell.y, 1)]),
+                    )
+        except GridError as exc:
+            return BoxResult(
+                spec=spec,
+                success=False,
+                reason=f"illegal geometry: {exc}",
+                problem=problem,
+                grid=grid,
+            )
+        report = verify_routing(problem, grid)
+        return BoxResult(
+            spec=spec,
+            success=report.ok,
+            reason="" if report.ok else report.summary(),
+            problem=problem,
+            grid=grid,
+            verification=report,
+        )

@@ -1,0 +1,28 @@
+"""Switchbox routing entry points.
+
+``route_switchbox`` runs the full Mighty algorithm;
+``route_switchbox_naive`` is the pre-Mighty baseline — the identical
+incremental maze router with both modification mechanisms disabled, i.e.
+what Lee-style sequential routing could do on the same problem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MightyConfig
+from repro.core.result import RouteResult
+from repro.core.router import route_problem
+from repro.netlist.switchbox import SwitchboxSpec
+
+
+def route_switchbox(
+    spec: SwitchboxSpec, config: Optional[MightyConfig] = None
+) -> RouteResult:
+    """Route a switchbox with the Mighty router (or a custom config)."""
+    return route_problem(spec.to_problem(), config or MightyConfig())
+
+
+def route_switchbox_naive(spec: SwitchboxSpec) -> RouteResult:
+    """Route a switchbox with modification disabled (the baseline)."""
+    return route_problem(spec.to_problem(), MightyConfig.no_modification())

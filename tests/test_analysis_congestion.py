@@ -1,0 +1,109 @@
+"""Tests for the congestion/utilisation analysis."""
+
+import pytest
+
+from repro.analysis.congestion import (
+    channel_density_profile,
+    congestion_profile,
+    hpwl_estimate,
+    net_bounding_boxes,
+    wirelength_overhead,
+)
+from repro.core import route_problem
+from repro.geometry import Point
+from repro.grid import Layer, RoutingGrid
+from repro.grid.path import straight_path
+from repro.netlist import Net, Pin, RoutingProblem
+from repro.netlist.instances import simple_channel, small_switchbox
+
+
+class TestCongestionProfile:
+    def test_empty_grid(self):
+        profile = congestion_profile(RoutingGrid(6, 4))
+        assert profile.overall_utilisation == 0.0
+        assert profile.row_utilisation == (0.0,) * 4
+        assert profile.column_utilisation == (0.0,) * 6
+
+    def test_single_row_wire(self):
+        grid = RoutingGrid(6, 4)
+        grid.commit_path(
+            1, straight_path(Point(0, 2), Point(5, 2), Layer.HORIZONTAL)
+        )
+        profile = congestion_profile(grid)
+        assert profile.hottest_row == 2
+        assert profile.row_utilisation[2] == pytest.approx(0.5)  # 1 of 2 layers
+        assert profile.row_utilisation[0] == 0.0
+        assert profile.overall_utilisation == pytest.approx(6 / 48)
+
+    def test_obstacles_excluded_from_denominator(self):
+        grid = RoutingGrid(4, 4)
+        for x in range(4):
+            grid.set_obstacle(x, 0)
+        profile = congestion_profile(grid)
+        assert profile.row_utilisation[0] == 0.0
+        grid.commit_path(
+            1, straight_path(Point(0, 1), Point(3, 1), Layer.HORIZONTAL)
+        )
+        profile = congestion_profile(grid)
+        assert profile.row_utilisation[1] == pytest.approx(0.5)
+
+    def test_peaks(self):
+        grid = RoutingGrid(5, 5)
+        grid.commit_path(
+            1, straight_path(Point(2, 0), Point(2, 4), Layer.VERTICAL)
+        )
+        profile = congestion_profile(grid)
+        assert profile.hottest_column == 2
+        assert profile.peak_column_utilisation == pytest.approx(0.5)
+
+    def test_routed_layout_nonzero(self):
+        problem = small_switchbox().to_problem()
+        result = route_problem(problem)
+        profile = congestion_profile(result.grid)
+        assert 0 < profile.overall_utilisation < 1
+
+
+class TestDensityProfile:
+    def test_profile_peak_is_density(self):
+        spec = simple_channel()
+        profile = channel_density_profile(spec)
+        assert max(profile) == spec.density
+        assert len(profile) == spec.n_columns
+
+    def test_empty_columns_zero(self):
+        from repro.netlist import ChannelSpec
+
+        spec = ChannelSpec((1, 0, 0, 1), (0, 0, 0, 0))
+        profile = channel_density_profile(spec)
+        assert profile == [1, 1, 1, 1]
+
+
+class TestHpwl:
+    def _problem(self):
+        return RoutingProblem(
+            10,
+            10,
+            nets=[
+                Net("a", (Pin(0, 0), Pin(4, 3))),
+                Net("b", (Pin(9, 9), Pin(9, 0))),
+            ],
+        )
+
+    def test_bounding_boxes(self):
+        boxes = net_bounding_boxes(self._problem())
+        assert boxes["a"] == (0, 0, 4, 3)
+        assert boxes["b"] == (9, 0, 9, 9)
+
+    def test_estimate(self):
+        assert hpwl_estimate(self._problem()) == (4 + 3) + (0 + 9)
+
+    def test_overhead_at_least_near_one(self):
+        problem = self._problem()
+        result = route_problem(problem)
+        assert result.success
+        assert wirelength_overhead(problem, result.grid) >= 0.9
+
+    def test_overhead_empty(self):
+        problem = RoutingProblem(4, 4, nets=[])
+        grid = problem.build_grid()
+        assert wirelength_overhead(problem, grid) == 1.0

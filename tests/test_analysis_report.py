@@ -1,0 +1,48 @@
+"""Unit tests for report-table formatting."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(
+            ["name", "tracks"], [["deutsch", 19], ["burstein", 15]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name" in lines[1]
+        # all rows equal width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_numeric_right_aligned(self):
+        table = format_table(["n"], [[1], [100]])
+        rows = [l for l in table.splitlines() if l.startswith("|")][1:]
+        assert rows[0] == "|   1 |"
+        assert rows[1] == "| 100 |"
+
+    def test_text_left_aligned(self):
+        table = format_table(["s"], [["ab"], ["abcd"]])
+        rows = [l for l in table.splitlines() if l.startswith("|")][1:]
+        assert rows[0] == "| ab   |"
+
+    def test_floats_formatted(self):
+        table = format_table(["t"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_bools_rendered(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "| a |" in table

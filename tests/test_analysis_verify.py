@@ -1,0 +1,93 @@
+"""Unit tests for the independent layout verifier."""
+
+from repro.analysis import verify_routing
+from repro.geometry import Point
+from repro.grid import GridPath, Layer
+from repro.grid.path import straight_path
+from repro.netlist import Net, Pin, RoutingProblem
+
+
+def two_pin_problem():
+    return RoutingProblem(
+        8, 6, nets=[Net("a", (Pin(0, 0), Pin(7, 0)))], name="v"
+    )
+
+
+class TestVerifier:
+    def test_unrouted_problem_reports_open(self):
+        problem = two_pin_problem()
+        grid = problem.build_grid()
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert report.open_nets == ["a"]
+        assert "open" in report.summary().lower() or "FAILED" in report.summary()
+
+    def test_correct_routing_verifies(self):
+        problem = two_pin_problem()
+        grid = problem.build_grid()
+        # pin(0,0,V) -> via -> run east on H -> via -> pin(7,0,V)
+        grid.commit_path(
+            1,
+            GridPath(
+                [(0, 0, 1), (0, 0, 0)]
+                + [(x, 0, 0) for x in range(1, 8)]
+                + [(7, 0, 1)]
+            ),
+        )
+        report = verify_routing(problem, grid)
+        assert report.ok, report.errors
+        assert report.connected_nets == {"a": True}
+
+    def test_single_pin_net_always_connected(self):
+        problem = RoutingProblem(4, 4, nets=[Net("solo", (Pin(1, 1),))])
+        report = verify_routing(problem, problem.build_grid())
+        assert report.ok
+
+    def test_disconnected_copper_is_open(self):
+        problem = two_pin_problem()
+        grid = problem.build_grid()
+        grid.commit_path(1, straight_path(Point(0, 1), Point(3, 1), Layer.VERTICAL))
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert not report.connected_nets["a"]
+
+    def test_same_cell_no_via_is_open(self):
+        """Copper on both layers of one cell without a via does not connect."""
+        problem = RoutingProblem(
+            4,
+            4,
+            nets=[
+                Net(
+                    "a",
+                    (Pin(0, 0, Layer.HORIZONTAL), Pin(0, 0, Layer.VERTICAL)),
+                )
+            ],
+        )
+        grid = problem.build_grid()
+        report = verify_routing(problem, grid)
+        assert not report.ok  # two pins, same cell, no via
+
+    def test_via_connects_layers(self):
+        problem = RoutingProblem(
+            4,
+            4,
+            nets=[
+                Net(
+                    "a",
+                    (Pin(0, 0, Layer.HORIZONTAL), Pin(0, 0, Layer.VERTICAL)),
+                )
+            ],
+        )
+        grid = problem.build_grid()
+        grid.commit_path(1, GridPath([(0, 0, 0), (0, 0, 1)]))
+        report = verify_routing(problem, grid)
+        assert report.ok, report.errors
+
+    def test_bool_protocol(self):
+        problem = two_pin_problem()
+        assert not verify_routing(problem, problem.build_grid())
+
+    def test_report_ok_summary(self):
+        problem = RoutingProblem(4, 4, nets=[Net("solo", (Pin(1, 1),))])
+        report = verify_routing(problem, problem.build_grid())
+        assert "VERIFIED" in report.summary()

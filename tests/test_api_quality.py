@@ -1,0 +1,90 @@
+"""Release-hygiene checks on the public API.
+
+* every public module, class and function in :mod:`repro` carries a
+  docstring;
+* every name in an ``__all__`` actually exists in its module;
+* the top-level package re-exports what the README's quickstart uses.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in _walk_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_public_classes_and_functions_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at home
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if getattr(cls, "__module__", None) != module.__name__:
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_"):
+                        continue
+                    if not (
+                        inspect.isfunction(member)
+                        or isinstance(member, (staticmethod, classmethod, property))
+                    ):
+                        continue
+                    target = (
+                        member.fget
+                        if isinstance(member, property)
+                        else getattr(member, "__func__", member)
+                    )
+                    if not (getattr(target, "__doc__", "") or "").strip():
+                        missing.append(f"{module.__name__}.{cls_name}.{name}")
+        assert missing == []
+
+
+class TestExports:
+    def test_all_lists_resolve(self):
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_quickstart_symbols_at_top_level(self):
+        for symbol in (
+            "route_problem",
+            "verify_routing",
+            "layout_metrics",
+            "MightyConfig",
+            "ChannelSpec",
+            "SwitchboxSpec",
+            "RoutingProblem",
+        ):
+            assert hasattr(repro, symbol), symbol
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

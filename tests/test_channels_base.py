@@ -1,0 +1,92 @@
+"""Unit tests for the channel-router bridge (wires -> grid)."""
+
+import pytest
+
+from repro.channels import HWire, VWire, realize_wires, track_row
+from repro.netlist import ChannelSpec
+from repro.netlist.instances import simple_channel, straight_channel
+
+
+class TestWireTypes:
+    def test_hwire_validation(self):
+        with pytest.raises(ValueError):
+            HWire(net=1, track=1, x0=5, x1=2)
+        with pytest.raises(ValueError):
+            HWire(net=1, track=0, x0=0, x1=2)
+
+    def test_vwire_validation(self):
+        with pytest.raises(ValueError):
+            VWire(net=1, x=0, y0=4, y1=2)
+
+    def test_track_row_mapping(self):
+        # 3 tracks: track 1 (top) on row 3, track 3 (bottom) on row 1
+        assert track_row(3, 1) == 3
+        assert track_row(3, 3) == 1
+        with pytest.raises(ValueError):
+            track_row(3, 4)
+        with pytest.raises(ValueError):
+            track_row(3, 0)
+
+
+class TestRealize:
+    def test_simple_straight_through(self):
+        spec = straight_channel()
+        vwires = [
+            VWire(net, column, 0, 2)
+            for column, net in enumerate(spec.top)
+            if net
+        ]
+        result = realize_wires(spec, 1, [], vwires, router="test")
+        assert result.success
+        assert result.tracks_used <= 1
+
+    def test_trunk_and_branches(self):
+        spec = ChannelSpec((1, 0), (0, 1), name="diag")
+        tracks = 2
+        hwires = [HWire(1, 1, 0, 1)]
+        row = track_row(tracks, 1)
+        vwires = [VWire(1, 0, row, tracks + 1), VWire(1, 1, 0, row)]
+        result = realize_wires(spec, tracks, hwires, vwires, router="test")
+        assert result.success, result.reason
+        assert result.tracks_used == 1
+
+    def test_auto_via_inserted(self):
+        spec = ChannelSpec((1, 0), (0, 1), name="diag")
+        tracks = 2
+        row = track_row(tracks, 1)
+        result = realize_wires(
+            spec,
+            tracks,
+            [HWire(1, 1, 0, 1)],
+            [VWire(1, 0, row, tracks + 1), VWire(1, 1, 0, row)],
+            router="test",
+        )
+        assert result.grid is not None
+        # vias where the branches meet the trunk
+        assert result.grid.via_owner(0, row) == 1
+        assert result.grid.via_owner(1, row) == 1
+
+    def test_illegal_overlap_reported_not_raised(self):
+        spec = ChannelSpec((1, 2), (2, 1), name="clash")
+        vwires = [VWire(1, 0, 0, 3), VWire(2, 0, 0, 3)]  # same column clash
+        result = realize_wires(spec, 2, [], vwires, router="test")
+        assert not result.success
+        assert "illegal geometry" in result.reason
+
+    def test_open_net_fails_verification(self):
+        spec = simple_channel()
+        result = realize_wires(spec, 3, [], [], router="test")  # no wires
+        assert not result.success
+        assert result.verification is not None
+        assert result.verification.open_nets
+
+    def test_summary_readable(self):
+        spec = straight_channel()
+        vwires = [
+            VWire(net, column, 0, 2)
+            for column, net in enumerate(spec.top)
+            if net
+        ]
+        result = realize_wires(spec, 1, [], vwires, router="test")
+        assert "test" in result.summary()
+        assert "OK" in result.summary()

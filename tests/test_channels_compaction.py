@@ -1,0 +1,76 @@
+"""Tests for post-routing channel compaction."""
+
+from repro.channels import MightyChannelRouter
+from repro.channels.compaction import (
+    compact_channel,
+    empty_track_rows,
+)
+from repro.netlist import ChannelSpec
+
+
+def one_sided_channel():
+    """All pins on the bottom shore: upper tracks go unused when the
+    channel is deliberately over-provisioned."""
+    return ChannelSpec(
+        top=(0, 0, 0, 0, 0, 0),
+        bottom=(1, 2, 1, 2, 0, 0),
+        name="one-sided",
+    )
+
+
+class TestEmptyRows:
+    def test_fresh_grid_all_rows_empty(self):
+        problem = one_sided_channel().to_problem(tracks=4)
+        grid = problem.build_grid()
+        assert empty_track_rows(grid) == [1, 2, 3, 4]
+
+    def test_routed_channel_uses_lower_rows_only(self):
+        spec = one_sided_channel()
+        result = MightyChannelRouter().route(spec, tracks=5)
+        assert result.success
+        empty = empty_track_rows(result.grid)
+        assert empty  # the over-provisioned upper tracks are unused
+
+
+class TestCompaction:
+    def test_compacts_overprovisioned_channel(self):
+        spec = one_sided_channel()
+        result = MightyChannelRouter().route(spec, tracks=5)
+        assert result.success
+        compacted = compact_channel(spec, result.grid)
+        assert compacted is not None
+        assert compacted.removed_tracks >= 1
+        assert compacted.tracks == 5 - compacted.removed_tracks
+        assert compacted.ok, compacted.verification.errors
+
+    def test_noop_on_tight_channel(self):
+        from repro.netlist.instances import simple_channel
+
+        spec = simple_channel()
+        result = MightyChannelRouter().route_min_tracks(spec)
+        assert result.success
+        compacted = compact_channel(spec, result.grid)
+        # at minimum track count with two-sided pins every row is crossed
+        if compacted is not None:
+            assert compacted.ok
+
+    def test_compacted_metrics_match(self):
+        """Compaction deletes empty rows only: wire cells and vias are
+        preserved exactly."""
+        from repro.analysis import layout_metrics
+
+        spec = one_sided_channel()
+        result = MightyChannelRouter().route(spec, tracks=5)
+        before = layout_metrics(result.problem, result.grid)
+        compacted = compact_channel(spec, result.grid)
+        assert compacted is not None
+        after = layout_metrics(compacted.problem, compacted.grid)
+        assert after.wire_cells == before.wire_cells
+        assert after.via_count == before.via_count
+
+    def test_summary(self):
+        spec = one_sided_channel()
+        result = MightyChannelRouter().route(spec, tracks=5)
+        compacted = compact_channel(spec, result.grid)
+        assert compacted is not None
+        assert "compacted" in compacted.summary()

@@ -1,0 +1,170 @@
+"""Behavioural tests for the four baseline channel routers.
+
+Each test pins down a *published property* of the algorithm being
+reimplemented (density-optimality, cycle failure, dogleg advantage, ...),
+so the baselines stay honest stand-ins for the originals.
+"""
+
+import pytest
+
+from repro.channels import (
+    DoglegRouter,
+    GreedyRouter,
+    LeftEdgeRouter,
+    MightyChannelRouter,
+    YacrLiteRouter,
+)
+from repro.channels.left_edge import assign_tracks_left_edge
+from repro.channels.dogleg import split_into_subnets
+from repro.netlist import ChannelSpec
+from repro.netlist.generators import random_channel
+from repro.netlist.instances import (
+    dogleg_channel,
+    simple_channel,
+    straight_channel,
+    vcg_cycle_channel,
+)
+
+ALL_ROUTERS = [
+    LeftEdgeRouter,
+    DoglegRouter,
+    GreedyRouter,
+    YacrLiteRouter,
+    MightyChannelRouter,
+]
+
+
+@pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+class TestCommonContract:
+    def test_straight_channel_one_track(self, router_cls):
+        result = router_cls().route_min_tracks(straight_channel())
+        assert result.success
+        assert result.tracks_used <= 1
+
+    def test_simple_channel_routes_and_verifies(self, router_cls):
+        result = router_cls().route_min_tracks(simple_channel())
+        assert result.success, result.reason
+        assert result.verification is not None and result.verification.ok
+
+    def test_random_channel(self, router_cls):
+        # cycle-free so the left-edge family has a chance
+        spec = random_channel(
+            24, 8, seed=11, target_density=5, allow_vcg_cycles=False
+        )
+        result = router_cls().route_min_tracks(spec)
+        assert result.success, f"{router_cls.__name__}: {result.reason}"
+
+
+class TestLeftEdge:
+    def test_density_optimal_without_constraints(self):
+        # nets stacked with zero vertical constraints: LEA hits density
+        spec = ChannelSpec(
+            top=(1, 1, 2, 2, 3, 3),
+            bottom=(0, 0, 0, 0, 0, 0),
+            name="stack",
+        )
+        result = LeftEdgeRouter().route_min_tracks(spec)
+        assert result.success
+        assert result.tracks_used == spec.density
+
+    def test_fails_on_cycle(self):
+        result = LeftEdgeRouter().route(vcg_cycle_channel(), tracks=10)
+        assert not result.success
+        assert "cycle" in result.reason
+
+    def test_respects_vcg_order(self):
+        spec = simple_channel()
+        assignment, needed, _ = assign_tracks_left_edge(spec)
+        assert assignment is not None
+        for upper, lower in spec.vcg_edges():
+            if upper in assignment and lower in assignment:
+                assert assignment[upper] < assignment[lower]
+
+    def test_needs_more_tracks_reported(self):
+        result = LeftEdgeRouter().route(simple_channel(), tracks=1)
+        assert not result.success
+        assert "needs" in result.reason
+
+
+class TestDogleg:
+    def test_splits_at_interior_terminals(self):
+        spec = dogleg_channel()
+        subnets = split_into_subnets(spec)
+        by_net = {}
+        for subnet in subnets:
+            by_net.setdefault(subnet.net, []).append(subnet)
+        assert len(by_net[3]) == 2  # the 3-pin net splits in two
+        assert len(by_net[1]) == 1
+
+    def test_beats_left_edge_on_dogleg_channel(self):
+        """The defining result: doglegging reaches density where straight
+        trunks cannot."""
+        spec = dogleg_channel()
+        lea = LeftEdgeRouter().route_min_tracks(spec)
+        dog = DoglegRouter().route_min_tracks(spec)
+        assert lea.success and dog.success
+        assert dog.tracks_used == spec.density == 2
+        assert lea.tracks_used == 3
+
+    def test_two_pin_cycle_still_fails(self):
+        """Doglegs split only at terminals, so a 2-net cycle stays cyclic —
+        faithful to the original's limitation."""
+        result = DoglegRouter().route(vcg_cycle_channel(), tracks=10)
+        assert not result.success
+
+
+class TestGreedy:
+    def test_routes_cycle_channel(self):
+        """Greedy has no VCG concept at all, so cycles don't bother it."""
+        result = GreedyRouter().route_min_tracks(vcg_cycle_channel())
+        assert result.success
+
+    def test_extension_columns_reported(self):
+        result = GreedyRouter().route_min_tracks(simple_channel())
+        assert result.success
+        assert result.extension_columns >= 0
+
+    def test_near_density_on_easy_channel(self):
+        spec = random_channel(40, 16, seed=7, target_density=8)
+        result = GreedyRouter().route_min_tracks(spec)
+        assert result.success
+        assert result.tracks_used <= spec.density + 3
+
+
+class TestYacrLite:
+    def test_routes_cycle_channel(self):
+        """Maze-routed branches dogleg around constraint violations —
+        the YACR-II headline behaviour."""
+        result = YacrLiteRouter().route_min_tracks(vcg_cycle_channel())
+        assert result.success
+
+    def test_near_density(self):
+        spec = random_channel(40, 16, seed=7, target_density=8)
+        result = YacrLiteRouter().route_min_tracks(spec)
+        assert result.success
+        assert result.tracks_used <= spec.density + 2
+
+    def test_dogleg_channel_at_density(self):
+        result = YacrLiteRouter().route_min_tracks(dogleg_channel())
+        assert result.success
+        assert result.tracks_used == 2
+
+
+class TestMightyOnChannels:
+    def test_routes_cycle_channel(self):
+        result = MightyChannelRouter().route_min_tracks(vcg_cycle_channel())
+        assert result.success
+
+    def test_at_density_on_simple_channel(self):
+        result = MightyChannelRouter().route_min_tracks(simple_channel())
+        assert result.success
+        assert result.tracks_used == simple_channel().density
+
+    def test_never_beaten_by_left_edge(self):
+        for seed in (3, 9):
+            spec = random_channel(30, 10, seed=seed, target_density=6)
+            mighty = MightyChannelRouter().route_min_tracks(spec)
+            lea = LeftEdgeRouter().route_min_tracks(spec)
+            assert mighty.success
+            if lea.success:
+                assert mighty.tracks <= lea.tracks

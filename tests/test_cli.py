@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netlist.instances import simple_channel, small_switchbox
+from repro.netlist.io import (
+    format_channel,
+    format_switchbox,
+    problem_to_dict,
+)
+from repro.netlist.instances import obstacle_region_problem
+
+
+@pytest.fixture
+def channel_file(tmp_path):
+    path = tmp_path / "chan.txt"
+    path.write_text(format_channel(simple_channel()))
+    return path
+
+
+@pytest.fixture
+def switchbox_file(tmp_path):
+    path = tmp_path / "box.txt"
+    path.write_text(format_switchbox(small_switchbox()))
+    return path
+
+
+class TestInfo:
+    def test_channel_info(self, channel_file, capsys):
+        assert main(["info", str(channel_file)]) == 0
+        out = capsys.readouterr().out
+        assert "density: 3" in out
+        assert "VCG cycle: no" in out
+
+    def test_switchbox_info(self, switchbox_file, capsys):
+        assert main(["info", str(switchbox_file)]) == 0
+        out = capsys.readouterr().out
+        assert "6x5" in out
+
+
+class TestRoute:
+    def test_route_switchbox(self, switchbox_file, capsys):
+        assert main(["route", str(switchbox_file)]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out
+        assert "VERIFIED" in out
+
+    def test_route_channel_with_tracks(self, channel_file, capsys):
+        assert main(["route", str(channel_file), "--tracks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tracks used" in out
+
+    def test_route_ascii(self, switchbox_file, capsys):
+        assert main(["route", str(switchbox_file), "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "." in out or "-" in out
+
+    def test_route_svg(self, switchbox_file, tmp_path, capsys):
+        svg_path = tmp_path / "out.svg"
+        assert (
+            main(["route", str(switchbox_file), "--svg", str(svg_path)]) == 0
+        )
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_route_naive_router(self, switchbox_file, capsys):
+        # the naive router may legitimately fail on this box; the CLI must
+        # run it and report honestly either way
+        code = main(["route", str(switchbox_file), "--router", "naive"])
+        out = capsys.readouterr().out
+        assert "maze-sequential" in out
+        assert code in (0, 1)
+
+    def test_route_json_problem(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(problem_to_dict(obstacle_region_problem())))
+        assert main(["route", str(path)]) == 0
+
+    def test_failing_route_nonzero_exit(self, channel_file):
+        # one track cannot fit a density-3 channel
+        assert main(["route", str(channel_file), "--tracks", "1"]) == 1
+
+
+class TestSweepAndImprove:
+    def test_route_with_improve(self, switchbox_file, capsys):
+        assert main(["route", str(switchbox_file), "--improve"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement:" in out
+
+    def test_sweep_switchbox(self, switchbox_file, capsys):
+        assert main(["sweep", str(switchbox_file)]) == 0
+        out = capsys.readouterr().out
+        assert "minimum-width sweep" in out
+        assert "mighty" in out and "maze-sequential" in out
+
+    def test_verify_result_dump(self, tmp_path, capsys):
+        from repro.core import route_problem
+        from repro.core.serialize import save_result
+
+        result = route_problem(small_switchbox().to_problem())
+        dump = tmp_path / "result.json"
+        save_result(dump, result)
+        assert main(["verify", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+
+
+class TestGenerate:
+    def test_generate_channel_stdout(self, capsys):
+        assert main(["generate", "channel", "--columns", "10", "--nets", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "top:" in out and "bottom:" in out
+
+    def test_generate_switchbox_file(self, tmp_path, capsys):
+        path = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "switchbox", "--columns", "8", "--rows", "6",
+             "--nets", "4", "-o", str(path)]
+        ) == 0
+        assert "width: 8" in path.read_text()
+
+    def test_generate_then_route_round_trip(self, tmp_path):
+        path = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "channel", "--columns", "12", "--nets", "5",
+             "--seed", "3", "-o", str(path)]
+        ) == 0
+        assert main(["route", str(path), "--tracks", "12"]) in (0, 1)
+
+    def test_generate_deterministic(self, capsys):
+        main(["generate", "channel", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["generate", "channel", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,89 @@
+"""Unit tests for net decomposition."""
+
+from repro.core import decompose_net, decompose_problem
+from repro.grid import Layer
+from repro.netlist import Net, Pin, RoutingProblem
+
+
+class TestDecomposeNet:
+    def test_two_pin_net(self):
+        net = Net("a", (Pin(0, 0), Pin(5, 5)))
+        connections = decompose_net(net, 1)
+        assert len(connections) == 1
+        assert connections[0].net_id == 1
+        assert connections[0].estimated_length == 10
+
+    def test_single_pin_net_empty(self):
+        assert decompose_net(Net("a", (Pin(0, 0),)), 1) == []
+        assert decompose_net(Net("a"), 1) == []
+
+    def test_multi_pin_count(self):
+        pins = tuple(Pin(x, 0) for x in (0, 3, 7, 12))
+        connections = decompose_net(Net("a", pins), 1)
+        assert len(connections) == 3
+
+    def test_mst_picks_short_edges(self):
+        # collinear pins: the MST must chain neighbours, never the long hop
+        pins = tuple(Pin(x, 0) for x in (0, 10, 20))
+        connections = decompose_net(Net("a", pins), 1)
+        lengths = sorted(c.estimated_length for c in connections)
+        assert lengths == [10, 10]
+
+    def test_mst_l_shape(self):
+        pins = (Pin(0, 0), Pin(0, 9), Pin(1, 0))
+        connections = decompose_net(Net("a", pins), 1)
+        total = sum(c.estimated_length for c in connections)
+        assert total == 1 + 9  # not 1 + 10
+
+    def test_deterministic(self):
+        pins = tuple(Pin(x, y) for x, y in ((0, 0), (4, 2), (8, 1), (2, 7)))
+        a = decompose_net(Net("a", pins), 1)
+        b = decompose_net(Net("a", pins), 1)
+        assert [(c.source_pin, c.target_pin) for c in a] == [
+            (c.source_pin, c.target_pin) for c in b
+        ]
+
+    def test_every_pin_covered(self):
+        pins = tuple(Pin(x, y) for x, y in ((0, 0), (4, 2), (8, 1), (2, 7)))
+        connections = decompose_net(Net("a", pins), 1)
+        touched = set()
+        for c in connections:
+            touched.add(c.source_pin)
+            touched.add(c.target_pin)
+        assert touched == set(pins)
+
+
+class TestDecomposeProblem:
+    def test_counts_and_ids(self):
+        problem = RoutingProblem(
+            10,
+            10,
+            nets=[
+                Net("a", (Pin(0, 0), Pin(1, 1))),
+                Net("b", (Pin(2, 2), Pin(3, 3), Pin(4, 4))),
+                Net("c", (Pin(5, 5),)),  # unroutable: no connections
+            ],
+        )
+        connections = decompose_problem(problem)
+        assert len(connections) == 1 + 2
+        assert {c.net_id for c in connections} == {1, 2}
+        assert {c.net_name for c in connections} == {"a", "b"}
+
+    def test_connection_state_initialised(self):
+        problem = RoutingProblem(
+            5, 5, nets=[Net("a", (Pin(0, 0), Pin(4, 4)))]
+        )
+        (connection,) = decompose_problem(problem)
+        assert not connection.routed
+        assert connection.path is None
+        assert connection.rips == 0
+        assert connection.chain_depth == 0
+
+    def test_connections_identity_hashed(self):
+        problem = RoutingProblem(
+            5, 5, nets=[Net("a", (Pin(0, 0, Layer.VERTICAL), Pin(4, 4, Layer.VERTICAL)))]
+        )
+        a = decompose_problem(problem)[0]
+        b = decompose_problem(problem)[0]
+        assert a != b  # distinct objects even with equal contents
+        assert len({a, b}) == 2

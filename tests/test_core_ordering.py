@@ -1,0 +1,57 @@
+"""Unit tests for connection ordering strategies."""
+
+import pytest
+
+from repro.core import decompose_problem, order_connections
+from repro.netlist import Net, Pin, RoutingProblem
+
+
+@pytest.fixture
+def connections():
+    problem = RoutingProblem(
+        20,
+        20,
+        nets=[
+            Net("long", (Pin(0, 0), Pin(19, 19))),
+            Net("short", (Pin(1, 1), Pin(2, 1))),
+            Net("multi", (Pin(5, 5), Pin(7, 5), Pin(9, 5))),
+        ],
+    )
+    return decompose_problem(problem)
+
+
+class TestOrdering:
+    def test_shortest(self, connections):
+        ordered = order_connections(connections, "shortest")
+        lengths = [c.estimated_length for c in ordered]
+        assert lengths == sorted(lengths)
+
+    def test_longest(self, connections):
+        ordered = order_connections(connections, "longest")
+        lengths = [c.estimated_length for c in ordered]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_input_preserves(self, connections):
+        ordered = order_connections(connections, "input")
+        assert ordered == connections
+        assert ordered is not connections  # a copy, not the same list
+
+    def test_most_pins_groups_big_nets_first(self, connections):
+        ordered = order_connections(connections, "most_pins")
+        assert ordered[0].net_name == "multi"
+        assert ordered[1].net_name == "multi"
+
+    def test_original_untouched(self, connections):
+        before = list(connections)
+        order_connections(connections, "shortest")
+        assert connections == before
+
+    def test_unknown_strategy(self, connections):
+        with pytest.raises(ValueError):
+            order_connections(connections, "bogus")
+
+    def test_deterministic_tie_break(self, connections):
+        a = order_connections(connections, "shortest")
+        b = order_connections(list(reversed(connections)), "shortest")
+        keyed = lambda cs: [(c.net_name, c.source_pin, c.target_pin) for c in cs]  # noqa: E731
+        assert keyed(a) == keyed(b)

@@ -1,0 +1,64 @@
+"""Tests for routing-result serialization."""
+
+import json
+
+from repro.analysis import layout_metrics, verify_routing
+from repro.core import route_problem
+from repro.core.serialize import (
+    load_result_grid,
+    path_from_list,
+    path_to_list,
+    rebuild_grid,
+    result_to_dict,
+    save_result,
+)
+from repro.grid import GridPath
+from repro.netlist.instances import obstacle_region_problem, small_switchbox
+
+
+class TestPathRoundTrip:
+    def test_none(self):
+        assert path_to_list(None) is None
+        assert path_from_list(None) is None
+
+    def test_round_trip(self):
+        path = GridPath([(0, 0, 0), (1, 0, 0), (1, 0, 1), (1, 1, 1)])
+        assert path_from_list(path_to_list(path)) == path
+
+
+class TestResultDump:
+    def test_dict_is_json_compatible(self):
+        result = route_problem(small_switchbox().to_problem())
+        payload = result_to_dict(result)
+        json.dumps(payload)  # must not raise
+        assert payload["success"] is True
+        assert payload["router"] == "mighty"
+        assert len(payload["connections"]) == result.stats.connections
+        assert len(payload["events"]) == len(result.events)
+
+    def test_rebuilt_grid_matches_original(self):
+        problem = small_switchbox().to_problem()
+        result = route_problem(problem)
+        payload = result_to_dict(result)
+        rebuilt = rebuild_grid(payload)
+        original = layout_metrics(problem, result.grid)
+        recovered = layout_metrics(problem, rebuilt)
+        assert recovered.wire_cells == original.wire_cells
+        assert recovered.via_count == original.via_count
+        assert verify_routing(problem, rebuilt).ok
+
+    def test_region_problem_round_trips(self):
+        problem = obstacle_region_problem()
+        result = route_problem(problem)
+        payload = result_to_dict(result)
+        rebuilt = rebuild_grid(payload)
+        assert verify_routing(problem, rebuilt).ok
+
+    def test_file_round_trip(self, tmp_path):
+        problem = small_switchbox().to_problem()
+        result = route_problem(problem)
+        dump = tmp_path / "result.json"
+        save_result(dump, result)
+        loaded_problem, loaded_grid = load_result_grid(dump)
+        assert loaded_problem.width == problem.width
+        assert verify_routing(loaded_problem, loaded_grid).ok

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs and exits cleanly.
+
+The examples are the library's front door; they must never rot.  Each runs
+in-process (import + main) with stdout captured; the channel showdown runs
+in its fast ``--small`` mode.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "COMPLETE" in out
+    assert "VERIFIED" in out
+
+
+def test_irregular_region(capsys):
+    run_example("irregular_region.py", [])
+    out = capsys.readouterr().out
+    assert out.count("COMPLETE") >= 3
+    assert "partially routed" in out
+
+
+def test_channel_showdown_small(capsys):
+    run_example("channel_showdown.py", ["--small"])
+    out = capsys.readouterr().out
+    assert "density (lower bound):" in out
+    assert "mighty" in out and "left-edge" in out
+
+
+def test_convergence_and_cleanup(tmp_path, capsys):
+    dump = tmp_path / "dump.json"
+    run_example("convergence_and_cleanup.py", [str(dump)])
+    out = capsys.readouterr().out
+    assert "convergence (subsampled)" in out
+    assert "improvement:" in out
+    assert dump.exists()
+
+
+@pytest.mark.slow
+def test_switchbox_gallery(tmp_path, capsys):
+    run_example("switchbox_gallery.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "switchbox gallery" in out
+    assert "minimum-width sweep" in out
+    svgs = list(tmp_path.glob("*.svg"))
+    assert len(svgs) >= 2
+    for svg in svgs:
+        assert svg.read_text().startswith("<svg")

@@ -1,0 +1,101 @@
+"""Unit tests for axis-parallel segments."""
+
+import pytest
+
+from repro.geometry import Point, Segment
+
+
+class TestConstruction:
+    def test_normalises_endpoint_order(self):
+        assert Segment(Point(5, 0), Point(1, 0)) == Segment(
+            Point(1, 0), Point(5, 0)
+        )
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0), Point(1, 1))
+
+    def test_degenerate_allowed(self):
+        s = Segment(Point(2, 2), Point(2, 2))
+        assert s.is_point
+        assert s.length == 0
+        assert s.is_horizontal and s.is_vertical
+
+    def test_accepts_plain_tuples(self):
+        s = Segment((0, 0), (0, 3))
+        assert s.b == Point(0, 3)
+
+
+class TestQueries:
+    def test_orientation(self):
+        assert Segment(Point(0, 0), Point(4, 0)).is_horizontal
+        assert Segment(Point(0, 0), Point(0, 4)).is_vertical
+
+    def test_length(self):
+        assert Segment(Point(1, 0), Point(5, 0)).length == 4
+
+    def test_points_enumeration(self):
+        s = Segment(Point(2, 1), Point(5, 1))
+        assert list(s.points()) == [Point(x, 1) for x in (2, 3, 4, 5)]
+
+    def test_points_vertical(self):
+        s = Segment(Point(0, 3), Point(0, 1))
+        assert list(s.points()) == [Point(0, y) for y in (1, 2, 3)]
+
+    def test_contains(self):
+        s = Segment(Point(0, 0), Point(3, 0))
+        assert s.contains(Point(2, 0))
+        assert s.contains(Point(0, 0))
+        assert not s.contains(Point(4, 0))
+        assert not s.contains(Point(2, 1))
+
+
+class TestIntersection:
+    def test_perpendicular_cross(self):
+        h = Segment(Point(0, 2), Point(4, 2))
+        v = Segment(Point(2, 0), Point(2, 4))
+        crossing = h.intersection(v)
+        assert crossing == Segment(Point(2, 2), Point(2, 2))
+        assert v.intersection(h) == crossing
+
+    def test_perpendicular_miss(self):
+        h = Segment(Point(0, 2), Point(1, 2))
+        v = Segment(Point(3, 0), Point(3, 4))
+        assert h.intersection(v) is None
+
+    def test_collinear_overlap(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(3, 0), Point(8, 0))
+        assert a.intersection(b) == Segment(Point(3, 0), Point(5, 0))
+
+    def test_collinear_touch_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(3, 0))
+        b = Segment(Point(3, 0), Point(6, 0))
+        assert a.intersection(b) == Segment(Point(3, 0), Point(3, 0))
+
+    def test_parallel_disjoint_rows(self):
+        a = Segment(Point(0, 0), Point(3, 0))
+        b = Segment(Point(0, 1), Point(3, 1))
+        assert a.intersection(b) is None
+        assert not a.overlaps(b)
+
+    def test_point_segment_on_other(self):
+        dot = Segment(Point(2, 0), Point(2, 0))
+        line = Segment(Point(0, 0), Point(4, 0))
+        assert dot.intersection(line) == dot
+        assert line.intersection(dot) == dot
+
+    def test_point_segment_off_other(self):
+        dot = Segment(Point(9, 9), Point(9, 9))
+        line = Segment(Point(0, 0), Point(4, 0))
+        assert dot.intersection(line) is None
+
+    def test_vertical_collinear_overlap(self):
+        a = Segment(Point(1, 0), Point(1, 4))
+        b = Segment(Point(1, 2), Point(1, 9))
+        assert a.intersection(b) == Segment(Point(1, 2), Point(1, 4))
+
+    def test_overlaps_is_symmetric(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(2, -2), Point(2, 2))
+        assert a.overlaps(b) and b.overlaps(a)

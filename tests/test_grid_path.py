@@ -1,0 +1,134 @@
+"""Unit tests for grid nodes and paths."""
+
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.grid import GridNode, GridPath, Layer
+from repro.grid.path import PathError, straight_path
+
+
+class TestLayer:
+    def test_other(self):
+        assert Layer.HORIZONTAL.other is Layer.VERTICAL
+        assert Layer.VERTICAL.other is Layer.HORIZONTAL
+
+    def test_prefers(self):
+        from repro.geometry import Direction
+
+        assert Layer.HORIZONTAL.prefers(Direction.EAST)
+        assert not Layer.HORIZONTAL.prefers(Direction.NORTH)
+        assert Layer.VERTICAL.prefers(Direction.SOUTH)
+
+    def test_short_name_round_trip(self):
+        for layer in Layer:
+            assert Layer.from_short_name(layer.short_name) is layer
+        assert Layer.from_short_name(" h ") is Layer.HORIZONTAL
+
+    def test_from_short_name_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Layer.from_short_name("Z")
+
+
+class TestGridPathConstruction:
+    def test_single_node(self):
+        path = GridPath([(1, 1, 0)])
+        assert len(path) == 1
+        assert path.wire_length == 0
+        assert path.via_count == 0
+
+    def test_wire_steps(self):
+        path = GridPath([(0, 0, 0), (1, 0, 0), (2, 0, 0)])
+        assert path.wire_length == 2
+
+    def test_via_step(self):
+        path = GridPath([(1, 1, 0), (1, 1, 1)])
+        assert path.via_count == 1
+        assert path.via_cells() == [Point(1, 1)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(PathError):
+            GridPath([])
+
+    def test_rejects_jump(self):
+        with pytest.raises(PathError):
+            GridPath([(0, 0, 0), (2, 0, 0)])
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(PathError):
+            GridPath([(0, 0, 0), (1, 1, 0)])
+
+    def test_rejects_diagonal_via(self):
+        with pytest.raises(PathError):
+            GridPath([(0, 0, 0), (1, 0, 1)])
+
+    def test_rejects_repeated_node(self):
+        with pytest.raises(PathError):
+            GridPath([(0, 0, 0), (0, 0, 0)])
+
+
+class TestGridPathQueries:
+    def _l_path(self):
+        return GridPath(
+            [(0, 0, 1), (0, 1, 1), (0, 2, 1), (0, 2, 0), (1, 2, 0)]
+        )
+
+    def test_endpoints(self):
+        path = self._l_path()
+        assert path.start == GridNode(0, 0, Layer.VERTICAL)
+        assert path.end == GridNode(1, 2, Layer.HORIZONTAL)
+
+    def test_counts(self):
+        path = self._l_path()
+        assert path.wire_length == 3
+        assert path.via_count == 1
+
+    def test_segments(self):
+        segments = self._l_path().segments()
+        assert (Segment(Point(0, 0), Point(0, 2)), Layer.VERTICAL) == segments[0]
+        assert (Segment(Point(0, 2), Point(1, 2)), Layer.HORIZONTAL) == segments[1]
+
+    def test_segments_split_at_bends(self):
+        path = GridPath([(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 2, 0)])
+        segments = path.segments()
+        assert len(segments) == 2
+        assert segments[0][0] == Segment(Point(0, 0), Point(1, 0))
+        assert segments[1][0] == Segment(Point(1, 0), Point(1, 2))
+
+    def test_reversed(self):
+        path = self._l_path()
+        back = path.reversed()
+        assert back.start == path.end and back.end == path.start
+        assert back.wire_length == path.wire_length
+        assert back.via_count == path.via_count
+
+    def test_equality_and_hash(self):
+        a = GridPath([(0, 0, 0), (1, 0, 0)])
+        b = GridPath([(0, 0, 0), (1, 0, 0)])
+        c = GridPath([(1, 0, 0), (0, 0, 0)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_indexing_and_iter(self):
+        path = self._l_path()
+        assert path[0] == path.start
+        assert list(path)[-1] == path.end
+
+
+class TestStraightPath:
+    def test_horizontal(self):
+        path = straight_path(Point(1, 2), Point(4, 2), Layer.HORIZONTAL)
+        assert path.start == GridNode(1, 2, Layer.HORIZONTAL)
+        assert path.end == GridNode(4, 2, Layer.HORIZONTAL)
+        assert path.wire_length == 3
+
+    def test_respects_direction(self):
+        path = straight_path(Point(4, 2), Point(1, 2), Layer.HORIZONTAL)
+        assert path.start.x == 4 and path.end.x == 1
+
+    def test_degenerate(self):
+        path = straight_path(Point(2, 2), Point(2, 2), Layer.VERTICAL)
+        assert len(path) == 1
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            straight_path(Point(0, 0), Point(1, 1), Layer.VERTICAL)

@@ -1,0 +1,109 @@
+"""Unit tests for the Lee wavefront router."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import GridPath, Layer, RoutingGrid
+from repro.grid.path import straight_path
+from repro.maze import lee_route
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(10, 8)
+
+
+class TestBasics:
+    def test_straight_line(self, grid):
+        path = lee_route(grid, 1, [(0, 0, 0)], [(5, 0, 0)])
+        assert path is not None
+        assert path.wire_length == 5
+        assert path.via_count == 0
+
+    def test_source_equals_target(self, grid):
+        path = lee_route(grid, 1, [(3, 3, 0)], [(3, 3, 0)])
+        assert path is not None and len(path) == 1
+
+    def test_layer_change_counts_one_step(self, grid):
+        path = lee_route(grid, 1, [(0, 0, 0)], [(0, 0, 1)])
+        assert path is not None
+        assert path.via_count == 1 and path.wire_length == 0
+
+    def test_multi_source(self, grid):
+        path = lee_route(grid, 1, [(0, 0, 0), (9, 0, 0)], [(8, 0, 0)])
+        assert path is not None
+        assert path.wire_length == 1  # from the nearer source
+
+    def test_multi_target(self, grid):
+        path = lee_route(grid, 1, [(0, 0, 0)], [(9, 7, 0), (2, 0, 0)])
+        assert path is not None
+        assert tuple(path.end)[:2] == (2, 0)
+
+    def test_requires_sources_and_targets(self, grid):
+        with pytest.raises(ValueError):
+            lee_route(grid, 1, [], [(0, 0, 0)])
+        with pytest.raises(ValueError):
+            lee_route(grid, 1, [(0, 0, 0)], [])
+
+
+class TestObstacles:
+    def test_detours_around_wall(self, grid):
+        for y in range(0, 7):
+            grid.set_obstacle(5, y)
+        path = lee_route(grid, 1, [(0, 0, 0)], [(9, 0, 0)])
+        assert path is not None
+        # forced up and over the wall: longer than the straight 9 steps
+        assert path.wire_length > 9
+
+    def test_blocked_completely(self, grid):
+        for y in range(grid.height):
+            grid.set_obstacle(5, y)
+        assert lee_route(grid, 1, [(0, 0, 0)], [(9, 0, 0)]) is None
+
+    def test_other_net_blocks(self, grid):
+        grid.commit_path(
+            2, straight_path(Point(5, 0), Point(5, 7), Layer.VERTICAL)
+        )
+        grid.commit_path(
+            2, straight_path(Point(5, 0), Point(5, 7), Layer.HORIZONTAL)
+        )
+        assert lee_route(grid, 1, [(0, 0, 0)], [(9, 0, 0)]) is None
+
+    def test_own_net_passable(self, grid):
+        grid.commit_path(
+            1, straight_path(Point(5, 0), Point(5, 7), Layer.HORIZONTAL)
+        )
+        path = lee_route(grid, 1, [(0, 0, 0)], [(9, 0, 0)])
+        assert path is not None
+        assert path.wire_length == 9  # straight through its own wire
+
+    def test_crossing_on_other_layer(self, grid):
+        # a vertical wall on the VERTICAL layer only: crossing on H is legal
+        grid.commit_path(
+            2, straight_path(Point(5, 0), Point(5, 7), Layer.VERTICAL)
+        )
+        path = lee_route(grid, 1, [(0, 0, 0)], [(9, 0, 0)])
+        assert path is not None
+        assert path.wire_length == 9
+
+    def test_source_not_available_raises(self, grid):
+        grid.commit_path(2, GridPath([(0, 0, 0)]))
+        with pytest.raises(ValueError):
+            lee_route(grid, 1, [(0, 0, 0)], [(5, 0, 0)])
+
+
+class TestOptimality:
+    def test_shortest_in_open_field(self, grid):
+        path = lee_route(grid, 1, [(1, 1, 0)], [(7, 5, 0)])
+        assert path is not None
+        # moves = manhattan distance (possibly + vias, but none needed here)
+        assert path.wire_length == 6 + 4
+
+    def test_wavefront_label_monotone(self, grid):
+        """The retraced path length equals the BFS distance: no shortcuts,
+        no wasted steps."""
+        for y in range(1, 8):
+            grid.set_obstacle(3, y)
+        path = lee_route(grid, 1, [(0, 7, 0)], [(6, 7, 0)])
+        assert path is not None
+        assert path.wire_length + path.via_count == len(path) - 1

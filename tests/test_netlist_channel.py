@@ -1,0 +1,109 @@
+"""Unit tests for channel specifications."""
+
+import pytest
+
+from repro.grid import Layer
+from repro.netlist import ChannelSpec, ProblemError
+from repro.netlist.instances import (
+    dogleg_channel,
+    simple_channel,
+    straight_channel,
+    vcg_cycle_channel,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        spec = ChannelSpec((1, 0, 2), (2, 1, 0))
+        assert spec.n_columns == 3
+        assert spec.net_numbers() == [1, 2]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ProblemError):
+            ChannelSpec((1, 2), (1,))
+
+    def test_rejects_negative_net(self):
+        with pytest.raises(ProblemError):
+            ChannelSpec((1, -2), (0, 0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProblemError):
+            ChannelSpec((), ())
+
+
+class TestAnalysis:
+    def test_spans(self):
+        spec = ChannelSpec((1, 0, 1, 2), (0, 2, 0, 0))
+        assert spec.spans() == {1: (0, 2), 2: (1, 3)}
+
+    def test_pins_of(self):
+        spec = ChannelSpec((1, 0), (1, 1))
+        assert sorted(spec.pins_of(1)) == [(0, "B"), (0, "T"), (1, "B")]
+
+    def test_density_excludes_straight_through(self):
+        spec = straight_channel()
+        assert spec.density == 0
+
+    def test_density_counts_covering_trunks(self):
+        spec = ChannelSpec((1, 2, 0, 0), (0, 0, 1, 2))
+        # nets 1:[0,2], 2:[1,3] -> columns 1 and 2 covered by both
+        assert spec.density == 2
+
+    def test_simple_channel_density(self):
+        assert simple_channel().density == 3
+
+    def test_vcg_edges(self):
+        spec = ChannelSpec((1, 2), (2, 1))
+        assert spec.vcg_edges() == {(1, 2), (2, 1)}
+
+    def test_vcg_ignores_same_net_and_empty(self):
+        spec = ChannelSpec((1, 0, 2), (1, 5, 0))
+        assert spec.vcg_edges() == set()
+
+    def test_cycle_detection(self):
+        assert vcg_cycle_channel().has_vcg_cycle()
+        assert not simple_channel().has_vcg_cycle()
+        assert not dogleg_channel().has_vcg_cycle()
+
+    def test_longest_path(self):
+        # simple6 chain: 5 > 1 > 2 > 3 > 4
+        assert simple_channel().vcg_longest_path() == 5
+        assert vcg_cycle_channel().vcg_longest_path() == 0
+        # no constraints at all: every net is its own chain of length 1
+        assert straight_channel().vcg_longest_path() == 1
+
+
+class TestLowering:
+    def test_geometry(self):
+        problem = simple_channel().to_problem(tracks=4)
+        assert problem.width == 6
+        assert problem.height == 6  # 4 tracks + 2 pin rows
+
+    def test_pin_placement(self):
+        spec = ChannelSpec((1, 0), (0, 1))
+        problem = spec.to_problem(tracks=2)
+        grid = problem.build_grid()
+        assert grid.pin_owner((0, 3, int(Layer.VERTICAL))) == 1  # top row
+        assert grid.pin_owner((1, 0, int(Layer.VERTICAL))) == 1  # bottom row
+
+    def test_shores_blocked(self):
+        spec = ChannelSpec((1, 0), (0, 1))
+        grid = spec.to_problem(tracks=2).build_grid()
+        # horizontal layer blocked on both shore rows everywhere
+        assert grid.is_obstacle((0, 0, 0))
+        assert grid.is_obstacle((1, 3, 0))
+        # empty shore slots blocked on the vertical layer too
+        assert grid.is_obstacle((1, 3, 1))
+        assert grid.is_obstacle((0, 0, 1))
+        # track rows free
+        assert grid.is_free((0, 1, 0)) and grid.is_free((1, 2, 1))
+
+    def test_requires_a_track(self):
+        with pytest.raises(ProblemError):
+            simple_channel().to_problem(tracks=0)
+
+    def test_net_names(self):
+        problem = ChannelSpec((7, 3), (3, 7)).to_problem(tracks=1)
+        assert {net.name for net in problem.nets} == {"n3", "n7"}
+        # ids follow sorted numeric order
+        assert problem.net_id("n3") == 1

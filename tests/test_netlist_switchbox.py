@@ -1,0 +1,87 @@
+"""Unit tests for switchbox specifications."""
+
+import pytest
+
+from repro.grid import Layer
+from repro.netlist import ProblemError, SwitchboxSpec
+from repro.netlist.instances import crossing_switchbox, small_switchbox
+
+
+class TestConstruction:
+    def test_basic(self):
+        spec = small_switchbox()
+        assert spec.width == 6 and spec.height == 5
+        assert spec.net_numbers() == [1, 2, 3, 4]
+
+    def test_rejects_wrong_lengths(self):
+        with pytest.raises(ProblemError):
+            SwitchboxSpec(3, 3, (0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0))
+        with pytest.raises(ProblemError):
+            SwitchboxSpec(3, 3, (0, 0, 0), (0, 0, 0), (0, 0), (0, 0, 0))
+
+    def test_rejects_tiny_box(self):
+        with pytest.raises(ProblemError):
+            SwitchboxSpec(1, 5, (0,), (0,), (0,) * 5, (0,) * 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProblemError):
+            SwitchboxSpec(2, 2, (0, -1), (0, 0), (0, 0), (0, 0))
+
+
+class TestPins:
+    def test_pin_sides_and_layers(self):
+        spec = SwitchboxSpec(
+            4, 3, top=(1, 0, 0, 0), bottom=(0, 2, 0, 0),
+            left=(3, 0, 0), right=(0, 0, 4),
+        )
+        pins = spec.pin_nodes()
+        assert pins[1] == [__import__("repro.netlist", fromlist=["Pin"]).Pin(0, 2, Layer.VERTICAL)]
+        assert pins[2][0].y == 0 and pins[2][0].layer is Layer.VERTICAL
+        assert pins[3][0] == __import__("repro.netlist", fromlist=["Pin"]).Pin(0, 0, Layer.HORIZONTAL)
+        assert pins[4][0].x == 3
+
+    def test_pin_count(self):
+        assert small_switchbox().pin_count == 10
+
+    def test_corner_pins_coexist(self):
+        spec = SwitchboxSpec(
+            3, 3, top=(0, 0, 0), bottom=(1, 0, 0), left=(2, 0, 0), right=(0, 0, 0)
+        )
+        problem = spec.to_problem()
+        grid = problem.build_grid()
+        assert grid.pin_owner((0, 0, int(Layer.VERTICAL))) == problem.net_id("n1")
+        assert grid.pin_owner((0, 0, int(Layer.HORIZONTAL))) == problem.net_id("n2")
+
+
+class TestLowering:
+    def test_problem_geometry(self):
+        problem = crossing_switchbox().to_problem()
+        assert (problem.width, problem.height) == (4, 4)
+        assert len(problem.nets) == 2
+
+    def test_no_obstacles(self):
+        problem = small_switchbox().to_problem()
+        grid = problem.build_grid()
+        assert grid.is_free((2, 2, 0)) and grid.is_free((2, 2, 1))
+
+
+class TestColumnDeletion:
+    def test_empty_columns(self):
+        spec = small_switchbox()
+        assert 0 in spec.empty_columns()
+        assert 1 not in spec.empty_columns()
+
+    def test_without_column(self):
+        spec = small_switchbox()
+        narrower = spec.without_column(0)
+        assert narrower.width == spec.width - 1
+        assert narrower.top == spec.top[1:]
+        assert narrower.left == spec.left  # rows untouched
+
+    def test_without_pinned_column_rejected(self):
+        with pytest.raises(ProblemError):
+            small_switchbox().without_column(1)
+
+    def test_without_column_out_of_range(self):
+        with pytest.raises(ProblemError):
+            small_switchbox().without_column(99)

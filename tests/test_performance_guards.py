@@ -1,0 +1,76 @@
+"""Performance regression guards.
+
+Loose wall-clock and work-count ceilings that catch accidental complexity
+regressions (a quadratic slipping into a hot loop) without being flaky on
+slow machines: every bound is ~10x the currently measured value.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MightyConfig, route_problem
+from repro.grid import RoutingGrid
+from repro.maze import CostModel, find_path
+from repro.netlist.generators import (
+    deutsch_class_channel,
+    woven_switchbox,
+)
+
+
+class TestSearchWork:
+    def test_astar_open_field_expansions_near_linear(self):
+        """With an admissible heuristic, an open-field straight-line query
+        must not flood the grid."""
+        grid = RoutingGrid(100, 50)
+        result = find_path(grid, 1, [(0, 25, 0)], [(99, 25, 0)])
+        assert result.found
+        # straight-line: expansions within a small multiple of path length
+        assert result.expansions < 20 * 100
+
+    def test_astar_worst_case_bounded_by_grid(self):
+        grid = RoutingGrid(60, 40)
+        for y in range(1, 40):
+            grid.set_obstacle(30, y)
+        result = find_path(grid, 1, [(0, 39, 0)], [(59, 39, 0)])
+        assert result.found
+        assert result.expansions <= 2 * 2 * 60 * 40  # nodes, with slack
+
+
+class TestRouterThroughput:
+    def test_medium_switchbox_under_a_second(self):
+        spec = woven_switchbox(23, 15, 24, seed=17, tangle=0.3)
+        started = time.perf_counter()
+        result = route_problem(spec.to_problem())
+        elapsed = time.perf_counter() - started
+        assert result.success
+        assert elapsed < 5.0  # measured ~0.05s; 100x headroom
+
+    def test_deutsch_class_channel_at_density_fast(self):
+        """The headline run (174-column channel at density) must stay
+        interactive: measured ~3s, capped at 60."""
+        from repro.channels import MightyChannelRouter
+
+        spec = deutsch_class_channel()
+        started = time.perf_counter()
+        result = MightyChannelRouter().route(spec, spec.density)
+        elapsed = time.perf_counter() - started
+        assert result.success, result.reason
+        assert elapsed < 60.0
+
+    def test_iterations_scale_with_connections(self):
+        spec = woven_switchbox(30, 20, 34, seed=9, tangle=0.4)
+        result = route_problem(spec.to_problem())
+        assert result.success
+        assert result.stats.iterations <= 50 * result.stats.connections
+
+
+class TestInfeasibleHalt:
+    def test_oversubscribed_box_halts_quickly(self):
+        from repro.netlist.generators import random_switchbox
+
+        spec = random_switchbox(20, 14, 24, seed=13, fill=0.95)
+        config = MightyConfig(max_rips_per_net=8, retry_passes=2)
+        started = time.perf_counter()
+        route_problem(spec.to_problem(), config)
+        assert time.perf_counter() - started < 30.0

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the grid and geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, Segment
+from repro.grid import FREE, GridPath, Layer, RoutingGrid
+
+
+# ----------------------------------------------------------------------
+# Geometry properties
+# ----------------------------------------------------------------------
+points = st.builds(
+    Point, st.integers(-50, 50), st.integers(-50, 50)
+)
+
+
+@given(points, points)
+def test_manhattan_symmetric_and_triangle(a, b):
+    assert a.manhattan_to(b) == b.manhattan_to(a)
+    assert a.manhattan_to(b) >= 0
+
+
+@given(points, points, points)
+def test_manhattan_triangle_inequality(a, b, c):
+    assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c)
+
+
+segments = st.builds(
+    lambda x0, y0, length, horizontal: Segment(
+        Point(x0, y0),
+        Point(x0 + length, y0) if horizontal else Point(x0, y0 + length),
+    ),
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(0, 15),
+    st.booleans(),
+)
+
+
+@given(segments, segments)
+def test_segment_intersection_symmetric(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(segments)
+def test_segment_self_intersection(a):
+    assert a.intersection(a) == a
+
+
+@given(segments, segments)
+def test_intersection_contained_in_both(a, b):
+    overlap = a.intersection(b)
+    if overlap is not None:
+        for point in overlap.points():
+            assert a.contains(point) and b.contains(point)
+
+
+rects = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.integers(-10, 10),
+    st.integers(-10, 10),
+    st.integers(0, 12),
+    st.integers(0, 12),
+)
+
+
+@given(rects, rects)
+def test_rect_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(rects, rects)
+def test_rect_intersection_within_bbox(a, b):
+    overlap = a.intersection(b)
+    if overlap is not None:
+        assert a.contains_rect(overlap) and b.contains_rect(overlap)
+    assert a.union_bbox(b).contains_rect(a)
+
+
+# ----------------------------------------------------------------------
+# Grid commit/rip properties
+# ----------------------------------------------------------------------
+def _walk(width, height, moves):
+    """Build a legal self-avoiding-ish walk from a move list."""
+    x, y, layer = width // 2, height // 2, 0
+    nodes = [(x, y, layer)]
+    seen = {(x, y, layer)}
+    for move in moves:
+        if move == 4:
+            candidate = (x, y, 1 - layer)
+        else:
+            dx, dy = [(1, 0), (-1, 0), (0, 1), (0, -1)][move]
+            candidate = (x + dx, y + dy, layer)
+        cx, cy, _ = candidate
+        if not (0 <= cx < width and 0 <= cy < height):
+            continue
+        if candidate in seen:
+            continue
+        nodes.append(candidate)
+        seen.add(candidate)
+        x, y, layer = candidate
+    return GridPath(nodes)
+
+
+walks = st.lists(st.integers(0, 4), min_size=0, max_size=40).map(
+    lambda moves: _walk(12, 12, moves)
+)
+
+
+@settings(max_examples=60)
+@given(walks)
+def test_commit_then_rip_restores_grid(path):
+    grid = RoutingGrid(12, 12)
+    grid.commit_path(1, path)
+    for node in path:
+        assert grid.owner(tuple(node)) == 1
+    grid.remove_path(1, path)
+    assert all(
+        grid.owner(tuple(node)) == FREE for node in path
+    )
+    assert grid.net_nodes(1) == []
+    assert grid.net_vias(1) == []
+
+
+@settings(max_examples=60)
+@given(walks)
+def test_committed_walk_is_connected(path):
+    grid = RoutingGrid(12, 12)
+    grid.commit_path(1, path)
+    component = grid.connected_component(1, tuple(path.start))
+    assert {tuple(n) for n in path} <= {tuple(n) for n in component}
+
+
+@settings(max_examples=60)
+@given(walks, walks)
+def test_double_commit_reference_counting(a, b):
+    grid = RoutingGrid(12, 12)
+    grid.commit_path(1, a)
+    grid.commit_path(1, b)
+    grid.remove_path(1, a)
+    for node in b:
+        assert grid.owner(tuple(node)) == 1
+    grid.remove_path(1, b)
+    assert grid.net_nodes(1) == []
+
+
+@settings(max_examples=40)
+@given(walks)
+def test_clone_restore_identity(path):
+    grid = RoutingGrid(12, 12)
+    grid.commit_path(1, path)
+    snapshot = grid.clone()
+    grid.remove_path(1, path)
+    grid.restore(snapshot)
+    assert grid.net_nodes(1) == snapshot.net_nodes(1)
+    for node in path:
+        assert grid.owner(tuple(node)) == 1

@@ -1,0 +1,76 @@
+"""Property-based round-trip tests for the file formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import Layer
+from repro.netlist import ChannelSpec, Net, Pin, RoutingProblem, SwitchboxSpec
+from repro.netlist.io import (
+    format_channel,
+    format_switchbox,
+    parse_channel,
+    parse_switchbox,
+    problem_from_dict,
+    problem_to_dict,
+)
+
+net_rows = st.lists(st.integers(0, 9), min_size=1, max_size=30)
+
+
+@settings(max_examples=60)
+@given(net_rows, st.integers(0, 9))
+def test_channel_text_round_trip(row, extra):
+    spec = ChannelSpec(
+        tuple(row), tuple(reversed(row)), name=f"prop-{extra}"
+    )
+    assert parse_channel(format_channel(spec)) == spec
+
+
+@settings(max_examples=40)
+@given(
+    st.integers(2, 12),
+    st.integers(2, 10),
+    st.integers(0, 10_000),
+)
+def test_switchbox_text_round_trip(width, height, seed):
+    import random
+
+    rng = random.Random(seed)
+    spec = SwitchboxSpec(
+        width=width,
+        height=height,
+        top=tuple(rng.randint(0, 5) for _ in range(width)),
+        bottom=tuple(rng.randint(0, 5) for _ in range(width)),
+        left=tuple(rng.randint(0, 5) for _ in range(height)),
+        right=tuple(rng.randint(0, 5) for _ in range(height)),
+        name=f"prop-{seed}",
+    )
+    assert parse_switchbox(format_switchbox(spec)) == spec
+
+
+pins = st.builds(
+    Pin,
+    st.integers(0, 11),
+    st.integers(0, 9),
+    st.sampled_from([Layer.HORIZONTAL, Layer.VERTICAL]),
+)
+
+
+@settings(max_examples=40)
+@given(st.lists(pins, min_size=1, max_size=8, unique=True))
+def test_problem_json_round_trip(pin_list):
+    # split the pins across two nets, avoiding cross-net node collisions
+    nets = [
+        Net("a", tuple(pin_list[::2])),
+    ]
+    if pin_list[1::2]:
+        taken = {p.node for p in pin_list[::2]}
+        rest = tuple(p for p in pin_list[1::2] if p.node not in taken)
+        if rest:
+            nets.append(Net("b", rest))
+    problem = RoutingProblem(12, 10, nets=nets, name="prop")
+    rebuilt = problem_from_dict(problem_to_dict(problem))
+    assert rebuilt.width == problem.width
+    assert [n.name for n in rebuilt.nets] == [n.name for n in problem.nets]
+    for original, copy in zip(problem.nets, rebuilt.nets):
+        assert original.pins == copy.pins

@@ -1,0 +1,100 @@
+"""Failure-injection tests for the independent verifier.
+
+The grid API makes shorts and pin theft unrepresentable, so these tests
+corrupt the underlying arrays directly (white-box) and check the verifier
+still catches every class of violation — the whole point of verifying
+independently of the bookkeeping.
+"""
+
+import pytest
+
+from repro.analysis import verify_routing
+from repro.core import route_problem
+from repro.netlist import Net, Pin, RoutingProblem
+from repro.netlist.instances import small_switchbox
+
+
+@pytest.fixture
+def routed():
+    problem = small_switchbox().to_problem()
+    result = route_problem(problem)
+    assert result.success
+    return problem, result.grid
+
+
+class TestInjectedViolations:
+    def test_clean_baseline(self, routed):
+        problem, grid = routed
+        assert verify_routing(problem, grid).ok
+
+    def test_stolen_pin_detected(self, routed):
+        problem, grid = routed
+        pin = problem.nets[0].pins[0]
+        other_id = problem.net_id(problem.nets[1].name)
+        grid._occ[int(pin.layer), pin.y, pin.x] = other_id  # corrupt
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert any("pin" in error for error in report.errors)
+
+    def test_unknown_net_id_detected(self, routed):
+        problem, grid = routed
+        grid._occ[0, 2, 2] = 99  # no such net
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert any("unknown net id" in error for error in report.errors)
+
+    def test_floating_via_detected(self, routed):
+        problem, grid = routed
+        # a via whose metal is missing on one layer
+        net_id = 1
+        grid._via[3, 3] = net_id
+        grid._occ[0, 3, 3] = net_id
+        grid._occ[1, 3, 3] = 0
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert any("via" in error for error in report.errors)
+
+    def test_obstacle_overwrite_detected(self):
+        from repro.geometry import Rect
+        from repro.netlist.problem import Obstacle
+
+        problem = RoutingProblem(
+            6,
+            6,
+            nets=[Net("a", (Pin(0, 0), Pin(5, 5)))],
+            obstacles=[Obstacle(Rect(2, 2, 3, 3))],
+        )
+        result = route_problem(problem)
+        grid = result.grid
+        grid._occ[0, 2, 2] = 1  # route over the obstacle
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert any("blocked cell" in error for error in report.errors)
+
+    def test_severed_wire_detected(self, routed):
+        problem, grid = routed
+        # find a non-pin wire cell of net 1 and erase it
+        pin_map = grid.pin_map()
+        severed = False
+        for node in list(grid.net_nodes(1)):
+            if int(pin_map[int(node.layer), node.y, node.x]) == 0:
+                grid._occ[int(node.layer), node.y, node.x] = 0
+                severed = True
+                break
+        if not severed:
+            pytest.skip("net 1 has no wire cells to sever")
+        report = verify_routing(problem, grid)
+        # severing may or may not disconnect (redundant copper), but the
+        # verifier must never crash and must stay consistent
+        assert isinstance(report.ok, bool)
+
+    def test_open_after_full_erase(self, routed):
+        problem, grid = routed
+        pin_map = grid.pin_map()
+        for node in list(grid.net_nodes(1)):
+            if int(pin_map[int(node.layer), node.y, node.x]) == 0:
+                grid._occ[int(node.layer), node.y, node.x] = 0
+        grid._via[grid._via == 1] = 0
+        report = verify_routing(problem, grid)
+        assert not report.ok
+        assert problem.nets[0].name in report.open_nets
