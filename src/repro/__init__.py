@@ -24,6 +24,7 @@ from repro.analysis import (
     channel_tracks_used,
     format_table,
     layout_metrics,
+    verify_result,
     verify_routing,
 )
 from repro.core import (
@@ -33,6 +34,14 @@ from repro.core import (
     RouteResult,
     RouteStats,
     route_problem,
+)
+from repro.engine import Deadline, EngineConfig, RoutingEngine
+from repro.errors import (
+    EngineError,
+    InputError,
+    ReproError,
+    RouteInfeasible,
+    RouteTimeout,
 )
 from repro.grid import GridNode, GridPath, Layer, RoutingGrid
 from repro.maze import CostModel
@@ -44,22 +53,30 @@ from repro.netlist import (
     SwitchboxSpec,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChannelSpec",
     "Connection",
     "CostModel",
+    "Deadline",
+    "EngineConfig",
+    "EngineError",
     "GridNode",
     "GridPath",
+    "InputError",
     "Layer",
     "LayoutMetrics",
     "MightyConfig",
     "MightyRouter",
     "Net",
     "Pin",
+    "ReproError",
+    "RouteInfeasible",
     "RouteResult",
     "RouteStats",
+    "RouteTimeout",
+    "RoutingEngine",
     "RoutingGrid",
     "RoutingProblem",
     "SwitchboxSpec",
@@ -68,5 +85,6 @@ __all__ = [
     "format_table",
     "layout_metrics",
     "route_problem",
+    "verify_result",
     "verify_routing",
 ]

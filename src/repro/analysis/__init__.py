@@ -14,7 +14,11 @@ Every router in the library emits onto the shared
 
 from repro.analysis.metrics import LayoutMetrics, channel_tracks_used, layout_metrics
 from repro.analysis.report import format_table
-from repro.analysis.verify import VerificationReport, verify_routing
+from repro.analysis.verify import (
+    VerificationReport,
+    verify_result,
+    verify_routing,
+)
 
 __all__ = [
     "LayoutMetrics",
@@ -22,5 +26,6 @@ __all__ = [
     "channel_tracks_used",
     "format_table",
     "layout_metrics",
+    "verify_result",
     "verify_routing",
 ]

@@ -16,9 +16,12 @@ grid — it trusts none of the router's bookkeeping.  Checks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Collection, Dict, List
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> analysis)
+    from repro.core.result import RouteResult
 
 from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
 from repro.netlist.problem import RoutingProblem
@@ -26,15 +29,23 @@ from repro.netlist.problem import RoutingProblem
 
 @dataclass
 class VerificationReport:
-    """Outcome of :func:`verify_routing`."""
+    """Outcome of :func:`verify_routing`.
+
+    ``waived_open`` lists nets that were found open but declared expected
+    by the caller (a partial result's known failures); waived opens never
+    fail the report, so a graceful-degradation outcome can be verified
+    without false alarms while shorts and obstacle violations still can't
+    hide.
+    """
 
     ok: bool
     errors: List[str] = field(default_factory=list)
     connected_nets: Dict[str, bool] = field(default_factory=dict)
+    waived_open: List[str] = field(default_factory=list)
 
     @property
     def open_nets(self) -> List[str]:
-        """Nets whose pins are not all connected."""
+        """Nets whose pins are not all connected (waived ones included)."""
         return sorted(
             name for name, good in self.connected_nets.items() if not good
         )
@@ -45,17 +56,36 @@ class VerificationReport:
     def summary(self) -> str:
         """One-line human-readable verdict."""
         if self.ok:
-            return f"VERIFIED: {len(self.connected_nets)} nets connected"
+            connected = sum(
+                1 for good in self.connected_nets.values() if good
+            )
+            verdict = f"VERIFIED: {connected} nets connected"
+            if self.waived_open:
+                verdict += (
+                    f" (partial: {len(self.waived_open)} known-open waived)"
+                )
+            return verdict
         return "FAILED: " + "; ".join(self.errors[:5]) + (
             f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
         )
 
 
 def verify_routing(
-    problem: RoutingProblem, grid: RoutingGrid
+    problem: RoutingProblem,
+    grid: RoutingGrid,
+    allowed_open: Collection[str] = (),
 ) -> VerificationReport:
-    """Check ``grid`` against ``problem``; see module docstring for rules."""
+    """Check ``grid`` against ``problem``; see module docstring for rules.
+
+    ``allowed_open`` names nets whose disconnection is *expected* (the
+    failures a partial result already reported); their opens are recorded
+    in ``waived_open`` instead of failing the report.  Every structural
+    rule — shorts, stolen pins, obstacle and region violations — still
+    applies to the routed subset unconditionally.
+    """
     errors: List[str] = []
+    allowed = set(allowed_open)
+    waived: List[str] = []
     occ = grid.occupancy()
     via = grid.via_map()
     n_nets = len(problem.nets)
@@ -117,6 +147,9 @@ def verify_routing(
         good = all(pin.node in component for pin in net.pins)
         connected[net.name] = good
         if not good:
+            if net.name in allowed:
+                waived.append(net.name)
+                continue
             stranded = [
                 (pin.x, pin.y)
                 for pin in net.pins
@@ -125,5 +158,26 @@ def verify_routing(
             errors.append(f"net {net.name!r} is open: stranded pins {stranded}")
 
     return VerificationReport(
-        ok=not errors, errors=errors, connected_nets=connected
+        ok=not errors,
+        errors=errors,
+        connected_nets=connected,
+        waived_open=sorted(waived),
     )
+
+
+def verify_result(
+    problem: RoutingProblem, result: "RouteResult"
+) -> VerificationReport:
+    """Verify a (possibly partial) :class:`~repro.core.result.RouteResult`.
+
+    A complete result is held to the full rules.  A partial one — a run
+    that hit its deadline or gave up on some connections — waives exactly
+    the nets the router itself reported failed, so the routed subset is
+    still ground-truth checked (shorts, obstacles, pins, connectivity of
+    everything claimed routed) without raising false alarms for the known
+    failures.
+    """
+    allowed: Collection[str] = ()
+    if not result.success:
+        allowed = {connection.net_name for connection in result.failed}
+    return verify_routing(problem, result.grid, allowed_open=allowed)

@@ -16,10 +16,13 @@ paper's "routed difficult channels such as Deutsch's in density" claim.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.metrics import channel_tracks_used
 from repro.analysis.verify import verify_routing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> channels)
+    from repro.engine.deadline import Deadline
 from repro.channels.base import ChannelResult, ChannelRouter
 from repro.core.config import MightyConfig
 from repro.core.router import route_problem
@@ -45,14 +48,27 @@ class MightyChannelRouter(ChannelRouter):
         if not (self.config.enable_weak or self.config.enable_strong):
             self.name = "maze-sequential"
 
-    def route(self, spec: ChannelSpec, tracks: int) -> ChannelResult:
-        """Attempt the mighty algorithm at a fixed track count."""
+    def route(
+        self,
+        spec: ChannelSpec,
+        tracks: int,
+        deadline: Optional["Deadline"] = None,
+    ) -> ChannelResult:
+        """Attempt the mighty algorithm at a fixed track count.
+
+        An expired ``deadline`` degrades gracefully: the attempt is
+        reported as a failed :class:`ChannelResult` (reason ``"deadline"``)
+        rather than raising, so sweeps over many track counts can share
+        one wall-clock budget.
+        """
         problem = spec.to_problem(tracks)
-        result = route_problem(problem, self.config)
+        result = route_problem(problem, self.config, deadline=deadline)
         report = verify_routing(problem, result.grid)
         success = result.success and report.ok
         reason = ""
-        if not result.success:
+        if result.stats.timed_out:
+            reason = "deadline"
+        elif not result.success:
             reason = f"{len(result.failed)} connections failed"
         elif not report.ok:
             reason = report.summary()

@@ -4,7 +4,9 @@ Subcommands
 -----------
 ``route``
     Route a problem file (channel, switchbox or JSON problem), print the
-    outcome, optionally render ASCII/SVG.
+    outcome, optionally render ASCII/SVG.  ``--deadline``,
+    ``--max-attempts`` and ``--on-timeout`` engage the resilient engine
+    (retry escalation plus, for channels, the classical fallback cascade).
 ``info``
     Print analysis of a problem file (density, VCG cycles, pin counts)
     without routing.
@@ -13,20 +15,31 @@ Subcommands
 ``sweep``
     The paper's minimum-width experiment: shrink a switchbox column by
     column and report the narrowest box each router completes.
+
+Exit codes
+----------
+Structured errors map to distinct codes so scripts can react without
+parsing output: ``0`` success, ``1`` internal/verification failure,
+``2`` bad input, ``3`` deadline hit (partial result), ``4`` infeasible
+(router exhausted every strategy).  Malformed input files produce a
+one-line ``error:`` diagnostic on stderr, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import channel_tracks_used, layout_metrics
-from repro.analysis.verify import verify_routing
+from repro.analysis.verify import verify_result, verify_routing
 from repro.core.config import MightyConfig
-from repro.core.router import route_problem
+from repro.engine import EngineConfig, RoutingEngine
+from repro.errors import InputError, ReproError
 from repro.netlist import io as problem_io
+from repro.netlist.problem import ProblemError
 from repro.netlist.generators import (
     burstein_class_switchbox,
     deutsch_class_channel,
@@ -43,32 +56,60 @@ def _detect_format(path: Path, explicit: Optional[str]) -> str:
     suffix = path.suffix.lower()
     if suffix == ".json":
         return "problem"
-    text = path.read_text()
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise InputError(
+            f"cannot read {path}: {exc.strerror or exc}",
+            context={"file": str(path)},
+        ) from None
     if "left:" in text:
         return "switchbox"
     return "channel"
 
 
 def _load(path: Path, fmt: str):
-    if fmt == "channel":
-        return problem_io.load_channel(path)
-    if fmt == "switchbox":
-        return problem_io.load_switchbox(path)
-    if fmt == "problem":
-        return problem_io.load_problem(path)
-    raise SystemExit(f"unknown format {fmt!r}")
+    loaders = {
+        "channel": problem_io.load_channel,
+        "switchbox": problem_io.load_switchbox,
+        "problem": problem_io.load_problem,
+    }
+    if fmt not in loaders:
+        raise InputError(
+            f"unknown format {fmt!r}",
+            context={"choices": sorted(loaders)},
+        )
+    try:
+        return loaders[fmt](path)
+    except (
+        problem_io.FormatError,
+        ProblemError,
+        json.JSONDecodeError,
+    ) as exc:
+        raise InputError(
+            f"malformed {fmt} file {path}: {exc}",
+            context={"file": str(path), "format": fmt},
+        ) from None
+    except OSError as exc:
+        raise InputError(
+            f"cannot read {path}: {exc.strerror or exc}",
+            context={"file": str(path)},
+        ) from None
 
 
 def _make_config(args: argparse.Namespace) -> MightyConfig:
-    if args.router == "mighty":
-        return MightyConfig()
-    if args.router == "naive":
-        return MightyConfig.no_modification()
-    if args.router == "weak-only":
-        return MightyConfig.weak_only()
-    if args.router == "strong-only":
-        return MightyConfig.strong_only()
-    raise SystemExit(f"unknown router {args.router!r}")
+    factories = {
+        "mighty": MightyConfig,
+        "naive": MightyConfig.no_modification,
+        "weak-only": MightyConfig.weak_only,
+        "strong-only": MightyConfig.strong_only,
+    }
+    if args.router not in factories:
+        raise InputError(
+            f"unknown router {args.router!r}",
+            context={"choices": sorted(factories)},
+        )
+    return factories[args.router]()
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -76,20 +117,41 @@ def cmd_route(args: argparse.Namespace) -> int:
     path = Path(args.file)
     fmt = _detect_format(path, args.format)
     loaded = _load(path, fmt)
+    channel_spec = None
+    tracks = None
     if fmt == "channel":
-        tracks = args.tracks or loaded.density
-        problem = loaded.to_problem(max(1, tracks))
+        tracks = max(1, args.tracks or loaded.density)
+        problem = loaded.to_problem(tracks)
+        channel_spec = loaded
     elif fmt == "switchbox":
         problem = loaded.to_problem()
     else:
         problem = loaded
-    result = route_problem(problem, _make_config(args))
+    resilient = args.deadline is not None or args.max_attempts > 1
+    try:
+        engine_config = EngineConfig(
+            deadline_s=args.deadline,
+            max_attempts=args.max_attempts,
+            on_timeout=args.on_timeout,
+            enable_fallback=resilient,
+        )
+    except ValueError as exc:
+        raise InputError(str(exc)) from None
+    engine = RoutingEngine(engine_config, router_config=_make_config(args))
+    result = engine.route(
+        problem,
+        channel_spec=channel_spec if resilient else None,
+        tracks=tracks,
+    )
+    # The fallback cascade may have extended the channel; judge the result
+    # against the problem it actually solved.
+    problem = result.problem
     if args.improve and result.success:
         from repro.core.improve import improve_routing
 
         stats = improve_routing(result)
         print(stats.summary())
-    report = verify_routing(problem, result.grid)
+    report = verify_result(problem, result)
     metrics = layout_metrics(problem, result.grid)
     print(result.summary())
     print(report.summary())
@@ -103,17 +165,30 @@ def cmd_route(args: argparse.Namespace) -> int:
     if args.svg:
         Path(args.svg).write_text(svg_from_grid(problem, result.grid))
         print(f"wrote {args.svg}")
-    return 0 if (result.success and report.ok) else 1
+    if result.success and report.ok:
+        return 0
+    if not report.ok:
+        return 1
+    if result.stats.timed_out:
+        return 3
+    return 4
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run the minimum-width sweep on a switchbox file."""
     from repro.analysis.report import format_table
+    from repro.engine import Deadline
     from repro.switchbox import minimum_routable_width
 
-    spec = problem_io.load_switchbox(Path(args.file))
-    mighty = minimum_routable_width(spec, MightyConfig())
-    naive = minimum_routable_width(spec, MightyConfig.no_modification())
+    spec = _load(Path(args.file), "switchbox")
+    try:
+        deadline = Deadline(args.deadline)
+    except ValueError as exc:
+        raise InputError(str(exc)) from None
+    mighty = minimum_routable_width(spec, MightyConfig(), deadline=deadline)
+    naive = minimum_routable_width(
+        spec, MightyConfig.no_modification(), deadline=deadline
+    )
     print(
         format_table(
             ["router", "original width", "min completed width"],
@@ -135,7 +210,24 @@ def cmd_verify(args: argparse.Namespace) -> int:
     """Re-verify a routing result dump."""
     from repro.core.serialize import load_result_grid
 
-    problem, grid = load_result_grid(Path(args.file))
+    try:
+        problem, grid = load_result_grid(Path(args.file))
+    except (
+        json.JSONDecodeError,
+        problem_io.FormatError,
+        ProblemError,
+        KeyError,
+        TypeError,
+    ) as exc:
+        raise InputError(
+            f"malformed result dump {args.file}: {exc}",
+            context={"file": str(args.file)},
+        ) from None
+    except OSError as exc:
+        raise InputError(
+            f"cannot read {args.file}: {exc.strerror or exc}",
+            context={"file": str(args.file)},
+        ) from None
     report = verify_routing(problem, grid)
     metrics = layout_metrics(problem, grid)
     print(f"problem: {problem}")
@@ -179,7 +271,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
     elif args.kind == "burstein":
         text = problem_io.format_switchbox(burstein_class_switchbox(args.seed))
     else:
-        raise SystemExit(f"unknown kind {args.kind!r}")
+        raise InputError(
+            f"unknown kind {args.kind!r}",
+            context={
+                "choices": ["burstein", "channel", "deutsch", "switchbox"]
+            },
+        )
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote {args.output}")
@@ -216,12 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the final improvement phase after routing",
     )
+    route.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best partial result is "
+        "returned (exit code 3) unless --on-timeout raise",
+    )
+    route.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="Mighty attempts with escalated retries; values > 1 also "
+        "enable the classical fallback cascade for channels (default: 1)",
+    )
+    route.add_argument(
+        "--on-timeout",
+        choices=("raise", "partial"),
+        default="partial",
+        help="deadline behaviour: keep the partial result (default) or "
+        "fail with a structured timeout error",
+    )
     route.set_defaults(func=cmd_route)
 
     sweep = sub.add_parser(
         "sweep", help="minimum-width sweep on a switchbox file"
     )
     sweep.add_argument("file")
+    sweep.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget shared by the whole sweep",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     verify = sub.add_parser(
@@ -249,9 +374,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Structured :class:`~repro.errors.ReproError` failures print a one-line
+    ``error:`` diagnostic on stderr and exit with the error's own code
+    (2 bad input, 3 timeout, 4 infeasible, 5 internal) — never a
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

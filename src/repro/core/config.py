@@ -7,6 +7,7 @@ can toggle one behaviour at a time without touching router code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.maze.cost import CostModel
 
@@ -62,6 +63,12 @@ class MightyConfig:
     retry_passes:
         Extra passes over connections that failed outright (no soft path);
         later rip-ups may have unblocked them.
+    max_expansions_per_search:
+        Per-connection search budget: an upper bound on A* node expansions
+        for every individual search (None = the searcher's own default).
+        This is the *local* half of the engine's deadline story — the
+        wall-clock deadline bounds the whole run, this bounds one blocked
+        connection from eating the run's entire budget.
     """
 
     cost: CostModel = field(default_factory=CostModel)
@@ -76,6 +83,7 @@ class MightyConfig:
     keep_best_state: bool = True
     ordering: str = "shortest"
     retry_passes: int = 4
+    max_expansions_per_search: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.ordering not in ORDERINGS:
@@ -92,6 +100,11 @@ class MightyConfig:
             raise ValueError("retry_passes must be non-negative")
         if self.max_chain_depth < 0:
             raise ValueError("max_chain_depth must be non-negative")
+        if (
+            self.max_expansions_per_search is not None
+            and self.max_expansions_per_search < 1
+        ):
+            raise ValueError("max_expansions_per_search must be positive")
 
     def with_updates(self, **changes) -> "MightyConfig":
         """Functional update helper (``config.with_updates(enable_weak=False)``)."""

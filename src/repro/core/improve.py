@@ -84,6 +84,17 @@ def improve_routing(
         )
     )
 
+    def net_still_connected(net_id: int) -> bool:
+        # Sibling connections may terminate on the copper being moved, so
+        # a locally-sound reroute can still strand another connection's
+        # endpoint; accept a change only if every pin of the whole net
+        # stays in one component.
+        pins = result.problem.net_by_id(net_id).pins
+        if len(pins) < 2:
+            return True
+        component = grid.connected_component(net_id, tuple(pins[0].node))
+        return all(pin.node in component for pin in pins[1:])
+
     for _ in range(passes):
         improved_this_pass = 0
         for connection in _by_descending_cost(result.connections, model):
@@ -98,6 +109,11 @@ def improve_routing(
                 connection.net_id, tuple(connection.source_node)
             )
             if connection.target_node in source_component:
+                if not net_still_connected(connection.net_id):
+                    # The removed copper carried a sibling's endpoint.
+                    grid.commit_path(connection.net_id, old_path)
+                    connection.path = old_path
+                    continue
                 # Redundant: sibling copper already connects the endpoints.
                 stats.removed_redundant += 1
                 improved_this_pass += 1
@@ -115,6 +131,13 @@ def improve_routing(
             if candidate.found and candidate.cost < old_cost:
                 grid.commit_path(connection.net_id, candidate.path)
                 connection.path = candidate.path
+                if not net_still_connected(connection.net_id):
+                    # Cheaper for this connection, but a sibling routed
+                    # through the old copper came apart: undo.
+                    grid.remove_path(connection.net_id, candidate.path)
+                    grid.commit_path(connection.net_id, old_path)
+                    connection.path = old_path
+                    continue
                 stats.rerouted += 1
                 improved_this_pass += 1
             else:

@@ -9,7 +9,7 @@ time can be reconstructed exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.decompose import Connection
 from repro.grid.routing_grid import RoutingGrid
@@ -22,6 +22,7 @@ class RouteEvent:
 
     step: int
     kind: str  # 'route' | 'weak' | 'strong' | 'reroute' | 'fail' | 'retry'
+    # (also 'defer', 'restore', 'timeout')
     net: str
     detail: str = ""
     open_connections: int = 0
@@ -32,7 +33,15 @@ class RouteEvent:
 
 @dataclass
 class RouteStats:
-    """Aggregate counters accumulated during one routing run."""
+    """Aggregate counters accumulated during one routing run.
+
+    The last three fields are the resilience telemetry added by the engine
+    layer: ``timed_out`` records that the run was cut by its wall-clock
+    deadline, ``deadline_s`` the budget it ran under, and ``attempt_log``
+    one JSON-compatible record per supervised attempt (Mighty runs and
+    fallback stages alike) when the run was driven by a
+    :class:`~repro.engine.supervisor.RoutingEngine`.
+    """
 
     connections: int = 0
     routed_connections: int = 0
@@ -46,6 +55,9 @@ class RouteStats:
     iterations: int = 0
     expansions: int = 0
     elapsed_s: float = 0.0
+    timed_out: bool = False
+    deadline_s: Optional[float] = None
+    attempt_log: List[Dict] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for report tables."""
@@ -60,6 +72,12 @@ class RouteResult:
     :func:`repro.analysis.verify.verify_routing` for ground-truth checking
     and to :func:`repro.analysis.metrics.layout_metrics` for wirelength/via
     numbers.
+
+    ``status`` is the graceful-degradation verdict: ``"complete"`` (every
+    connection routed), ``"partial"`` (some copper committed — e.g. the
+    run hit its deadline and returned its best snapshot), or ``"failed"``
+    (nothing routed).  It defaults to ``"auto"``, which resolves from the
+    connection states at construction time.
     """
 
     problem: RoutingProblem
@@ -69,6 +87,16 @@ class RouteResult:
     stats: RouteStats = field(default_factory=RouteStats)
     events: List[RouteEvent] = field(default_factory=list)
     router: str = "mighty"
+    status: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.status == "auto":
+            if self.success:
+                self.status = "complete"
+            elif any(c.routed for c in self.connections):
+                self.status = "partial"
+            else:
+                self.status = "failed"
 
     @property
     def success(self) -> bool:
@@ -99,6 +127,8 @@ class RouteResult:
         state = "COMPLETE" if self.success else (
             f"INCOMPLETE ({len(self.failed)} failed)"
         )
+        if self.stats.timed_out:
+            state += " [deadline hit]"
         return (
             f"{self.router} on {self.problem.name}: {state}; "
             f"{self.stats.routed_connections}/{self.stats.connections} "

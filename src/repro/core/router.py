@@ -29,9 +29,20 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.config import MightyConfig
+from repro.errors import EngineError
 from repro.core.decompose import Connection, decompose_problem
 from repro.core.ordering import order_connections
 from repro.core.result import RouteEvent, RouteResult, RouteStats
@@ -41,6 +52,9 @@ from repro.grid.routing_grid import GridError, RoutingGrid
 from repro.maze.astar import find_path
 from repro.netlist.net import Pin
 from repro.netlist.problem import RoutingProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> router)
+    from repro.engine.deadline import Deadline
 
 Node = Tuple[int, int, int]
 
@@ -74,7 +88,9 @@ class MightyRouter:
     # Public API
     # ------------------------------------------------------------------
     def route(
-        self, pre_routed: Optional[Dict[str, List[GridPath]]] = None
+        self,
+        pre_routed: Optional[Dict[str, List[GridPath]]] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> RouteResult:
         """Run the router once and return the result.
 
@@ -82,9 +98,21 @@ class MightyRouter:
         routed areas" in the paper's terms); pre-routed wiring is registered
         as ordinary connections, so the router may rip it up like anything
         else.
+
+        ``deadline`` is an optional wall-clock budget
+        (:class:`~repro.engine.deadline.Deadline`, duck-typed on
+        ``expired()``).  An expired deadline never raises here: the control
+        loop stops before the next connection, the best snapshot seen is
+        restored, and the result comes back with ``status="partial"`` and
+        ``stats.timed_out`` set — graceful degradation is the engine
+        layer's contract.  A zero-second deadline returns without entering
+        the control loop at all.
         """
         if self._routed:
-            raise RuntimeError("MightyRouter instances are single-use")
+            raise EngineError(
+                "MightyRouter instances are single-use",
+                context={"problem": self.problem.name},
+            )
         self._routed = True
         started = time.perf_counter()
 
@@ -107,7 +135,16 @@ class MightyRouter:
         retries_left = self.config.retry_passes
         max_iterations = self._iteration_bound(len(queue))
 
+        timed_out = False
         while queue or (failed and retries_left > 0):
+            if deadline is not None and deadline.expired():
+                timed_out = True
+                self._record(
+                    "timeout",
+                    "*",
+                    f"deadline hit after {self._stats.iterations} iterations",
+                )
+                break
             if not queue:
                 retries_left -= 1
                 # Fresh rip budgets for the retry pass: the landscape has
@@ -126,9 +163,14 @@ class MightyRouter:
             self._step += 1
             self._stats.iterations += 1
             if self._stats.iterations > max_iterations:
-                raise RuntimeError(
+                raise EngineError(
                     "termination invariant violated: iteration bound "
-                    f"{max_iterations} exceeded"
+                    f"{max_iterations} exceeded",
+                    context={
+                        "iterations": self._stats.iterations,
+                        "bound": max_iterations,
+                        "problem": self.problem.name,
+                    },
                 )
             if connection.routed:
                 continue
@@ -147,6 +189,9 @@ class MightyRouter:
         )
         self._stats.frozen_nets = len(self._frozen)
         self._stats.elapsed_s = time.perf_counter() - started
+        self._stats.timed_out = timed_out
+        if deadline is not None:
+            self._stats.deadline_s = deadline.budget_s
         return RouteResult(
             problem=self.problem,
             grid=self._grid,
@@ -180,7 +225,12 @@ class MightyRouter:
         targets = [tuple(node) for node in target_component]
 
         hard = find_path(
-            self._grid, net_id, sources, targets, cost=self.config.cost
+            self._grid,
+            net_id,
+            sources,
+            targets,
+            cost=self.config.cost,
+            max_expansions=self.config.max_expansions_per_search,
         )
         self._stats.expansions += hard.expansions
         if hard.found:
@@ -205,6 +255,7 @@ class MightyRouter:
             allow_conflicts=True,
             frozen_nets=frozenset(self._frozen),
             net_penalties=escalation,
+            max_expansions=self.config.max_expansions_per_search,
         )
         self._stats.expansions += soft.expansions
         if not soft.found:
@@ -343,6 +394,7 @@ class MightyRouter:
             [tuple(n) for n in source_component],
             [tuple(n) for n in target_component],
             cost=self.config.cost,
+            max_expansions=self.config.max_expansions_per_search,
         )
         self._stats.expansions += result.expansions
         if not result.found:
@@ -524,6 +576,9 @@ def route_problem(
     problem: RoutingProblem,
     config: Optional[MightyConfig] = None,
     pre_routed: Optional[Dict[str, List[GridPath]]] = None,
+    deadline: Optional["Deadline"] = None,
 ) -> RouteResult:
     """One-shot convenience wrapper around :class:`MightyRouter`."""
-    return MightyRouter(problem, config).route(pre_routed=pre_routed)
+    return MightyRouter(problem, config).route(
+        pre_routed=pre_routed, deadline=deadline
+    )

@@ -5,13 +5,20 @@ module flattens everything downstream tooling needs — per-connection paths,
 statistics, the event trace, per-net copper — into JSON-compatible
 primitives, and can reload the wiring onto a fresh grid (e.g. to render or
 verify a result produced elsewhere).
+
+The same format doubles as the engine's *checkpoint*: a partial result
+saved with :func:`save_checkpoint` can be reloaded with
+:func:`load_checkpoint`, which returns the problem plus the routed paths in
+the ``pre_routed`` shape that :meth:`repro.core.router.MightyRouter.route`
+and :meth:`repro.engine.supervisor.RoutingEngine.route` accept — so a run
+cut down by its deadline can be resumed instead of started over.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.result import RouteResult
 from repro.grid.path import GridPath
@@ -41,6 +48,7 @@ def result_to_dict(result: RouteResult) -> dict:
     return {
         "router": result.router,
         "success": result.success,
+        "status": result.status,
         "problem": problem_to_dict(result.problem),
         "stats": result.stats.as_dict(),
         "connections": [
@@ -95,3 +103,41 @@ def load_result_grid(path: PathLike) -> tuple:
     payload = json.loads(Path(path).read_text())
     problem: RoutingProblem = problem_from_dict(payload["problem"])
     return problem, rebuild_grid(payload)
+
+
+# ----------------------------------------------------------------------
+# Engine checkpoints
+# ----------------------------------------------------------------------
+def routed_paths(payload: dict) -> Dict[str, List[GridPath]]:
+    """Per-net committed paths of a dump, in ``pre_routed`` shape.
+
+    Only connections that were both routed and carry a real path
+    contribute (redundant connections routed through sibling copper have
+    no path of their own and need none on resume).
+    """
+    paths: Dict[str, List[GridPath]] = {}
+    for entry in payload["connections"]:
+        if entry.get("routed") and entry.get("path"):
+            paths.setdefault(entry["net"], []).append(
+                path_from_list(entry["path"])
+            )
+    return paths
+
+
+def save_checkpoint(path: PathLike, result: RouteResult) -> None:
+    """Persist a (possibly partial) result as a resumable checkpoint."""
+    save_result(path, result)
+
+
+def load_checkpoint(
+    path: PathLike,
+) -> Tuple[RoutingProblem, Dict[str, List[GridPath]]]:
+    """Read a checkpoint back as ``(problem, pre_routed)``.
+
+    Feed both to a router or engine to resume::
+
+        problem, pre_routed = load_checkpoint("partial.json")
+        result = RoutingEngine().route(problem, pre_routed=pre_routed)
+    """
+    payload = json.loads(Path(path).read_text())
+    return problem_from_dict(payload["problem"]), routed_paths(payload)

@@ -1,0 +1,19 @@
+"""Resilient supervision of routing runs.
+
+The engine layer wraps the core router in the guarantees a long-running
+service needs: wall-clock deadlines (:mod:`repro.engine.deadline`),
+deterministic retry escalation (:mod:`repro.engine.policy`), and the
+supervising fallback cascade itself (:mod:`repro.engine.supervisor`).
+"""
+
+from repro.engine.deadline import Deadline
+from repro.engine.policy import escalated_config, escalation_schedule
+from repro.engine.supervisor import EngineConfig, RoutingEngine
+
+__all__ = [
+    "Deadline",
+    "EngineConfig",
+    "RoutingEngine",
+    "escalated_config",
+    "escalation_schedule",
+]

@@ -1,0 +1,51 @@
+"""Retry-with-escalation policies for the routing engine.
+
+A failed Mighty attempt rarely fails again the same way if the landscape is
+approached differently: the classic levers are the connection processing
+order (a bad order manufactures the congestion that rip-up then has to
+undo) and the rip budgets (a starved budget freezes nets too early, an
+escalated one lets the router fight longer).  The escalation policy turns
+those levers deterministically: attempt 0 runs the caller's configuration
+untouched, and each later attempt rotates to the next ordering heuristic
+and scales the rip machinery up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.config import ORDERINGS, MightyConfig
+
+
+def escalated_config(base: MightyConfig, attempt: int) -> MightyConfig:
+    """The configuration for retry number ``attempt`` (0 = ``base`` itself).
+
+    Later attempts rotate the connection ordering through every published
+    heuristic (starting from the one after ``base.ordering``), multiply the
+    per-net rip budget, deepen rip chains, and add a retry pass — strictly
+    more aggressive, never less.  Weak/strong toggles are preserved, so an
+    ablation configuration stays an ablation configuration.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if attempt == 0:
+        return base
+    start = ORDERINGS.index(base.ordering)
+    ordering = ORDERINGS[(start + attempt) % len(ORDERINGS)]
+    scale = attempt + 1
+    return base.with_updates(
+        ordering=ordering,
+        max_rips_per_net=max(1, base.max_rips_per_net) * scale,
+        max_chain_depth=base.max_chain_depth + 2 * attempt,
+        strong_victim_limit=base.strong_victim_limit + 2 * attempt,
+        retry_passes=base.retry_passes + attempt,
+    )
+
+
+def escalation_schedule(
+    base: Optional[MightyConfig], max_attempts: int
+) -> Iterator[MightyConfig]:
+    """Yield up to ``max_attempts`` configurations, mildest first."""
+    config = base or MightyConfig()
+    for attempt in range(max_attempts):
+        yield escalated_config(config, attempt)

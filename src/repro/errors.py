@@ -1,0 +1,100 @@
+"""Structured exception hierarchy for the routing stack.
+
+Every error the library deliberately raises derives from :class:`ReproError`
+and carries a machine-readable ``context`` dict next to its human-readable
+message, so supervisors (the :mod:`repro.engine` layer, the CLI, a service
+wrapper) can react to *what* failed without parsing strings:
+
+* :class:`InputError` — the problem statement or a file is malformed
+  (exit code 2 at the CLI);
+* :class:`RouteTimeout` — a routing run exceeded its wall-clock deadline
+  (exit code 3; only raised when the caller opted out of graceful partial
+  results);
+* :class:`RouteInfeasible` — the router exhausted every strategy and the
+  caller asked for infeasibility to be fatal (exit code 4);
+* :class:`EngineError` — an internal invariant was violated (a bug, never
+  a user mistake; subclasses :class:`RuntimeError` so legacy ``except
+  RuntimeError`` call sites keep working).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable one-line description.
+    context:
+        Machine-readable details (plain JSON-compatible values only), e.g.
+        ``{"deadline_s": 0.5, "routed": 7, "connections": 12}``.
+    """
+
+    #: Process exit code the CLI maps this error class to.
+    exit_code: int = 1
+    #: Stable machine-readable error category.
+    kind: str = "error"
+
+    def __init__(
+        self, message: str, context: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context: Dict[str, Any] = dict(context or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible view: kind, message, exit code and context."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "exit_code": self.exit_code,
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        details = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.context.items())
+        )
+        return f"{self.message} [{details}]"
+
+
+class InputError(ReproError, ValueError):
+    """A problem file, flag or payload is malformed (user error)."""
+
+    exit_code = 2
+    kind = "input"
+
+
+class RouteTimeout(ReproError):
+    """A routing run exceeded its wall-clock deadline.
+
+    ``context`` conventionally carries ``deadline_s``, ``elapsed_s`` and the
+    completion counters of the best partial state reached.
+    """
+
+    exit_code = 3
+    kind = "timeout"
+
+
+class RouteInfeasible(ReproError):
+    """Every routing strategy was exhausted without completing the problem.
+
+    ``context`` conventionally carries ``routed``, ``connections`` and the
+    names of the nets left open.
+    """
+
+    exit_code = 4
+    kind = "infeasible"
+
+
+class EngineError(ReproError, RuntimeError):
+    """An internal invariant of the routing engine was violated (a bug)."""
+
+    exit_code = 5
+    kind = "engine"

@@ -13,7 +13,10 @@ baseline is the reproduced result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> sweep)
+    from repro.engine.deadline import Deadline
 
 from repro.analysis.verify import verify_routing
 from repro.core.config import MightyConfig
@@ -72,18 +75,24 @@ def minimum_routable_width(
     router_name: str = "",
     max_deletions: Optional[int] = None,
     stop_after_failures: int = 2,
+    deadline: Optional["Deadline"] = None,
 ) -> WidthSweepOutcome:
     """Run one configuration over the shrinking sequence.
 
     Stops early after ``stop_after_failures`` consecutive failed widths
-    (narrower boxes only get harder).
+    (narrower boxes only get harder).  A ``deadline``
+    (:class:`~repro.engine.deadline.Deadline`) bounds the whole sweep: the
+    current attempt degrades to a partial result and no further widths are
+    tried, so a sweep can never hang a worker.
     """
     config = config or MightyConfig()
     outcome = WidthSweepOutcome(router=router_name or _tag(config))
     consecutive_failures = 0
     for shrunk in shrinking_sequence(spec, max_deletions=max_deletions):
+        if deadline is not None and deadline.expired():
+            break
         problem = shrunk.to_problem()
-        result = route_problem(problem, config)
+        result = route_problem(problem, config, deadline=deadline)
         done = result.success and verify_routing(problem, result.grid).ok
         outcome.results.append(result)
         outcome.widths.append(shrunk.width)

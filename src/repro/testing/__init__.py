@@ -1,0 +1,20 @@
+"""Test-support utilities shipped with the library.
+
+Currently home to the deterministic fault-injection harness
+(:mod:`repro.testing.faults`) used by the chaos tests and available to
+downstream users who want to rehearse their own degradation paths.
+"""
+
+from repro.testing.faults import (
+    CORRUPT_OWNER,
+    FaultInjector,
+    FaultPlan,
+    StepClock,
+)
+
+__all__ = [
+    "CORRUPT_OWNER",
+    "FaultInjector",
+    "FaultPlan",
+    "StepClock",
+]

@@ -71,7 +71,7 @@ class TestRoute:
         code = main(["route", str(switchbox_file), "--router", "naive"])
         out = capsys.readouterr().out
         assert "maze-sequential" in out
-        assert code in (0, 1)
+        assert code in (0, 4)
 
     def test_route_json_problem(self, tmp_path):
         path = tmp_path / "p.json"
@@ -79,8 +79,8 @@ class TestRoute:
         assert main(["route", str(path)]) == 0
 
     def test_failing_route_nonzero_exit(self, channel_file):
-        # one track cannot fit a density-3 channel
-        assert main(["route", str(channel_file), "--tracks", "1"]) == 1
+        # one track cannot fit a density-3 channel: exit 4 (infeasible)
+        assert main(["route", str(channel_file), "--tracks", "1"]) == 4
 
 
 class TestSweepAndImprove:
@@ -107,6 +107,85 @@ class TestSweepAndImprove:
         assert "VERIFIED" in out
 
 
+class TestStructuredErrors:
+    def test_missing_file_exit_2_no_traceback(self, capsys):
+        assert main(["route", "/nonexistent/file.txt"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_channel_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("top: 1 2 3\nbottom: 1 2\n")  # mismatched columns
+        assert main(["route", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "malformed" in err
+
+    def test_malformed_json_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["route", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed" in err and "Traceback" not in err
+
+    def test_malformed_result_dump_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "dump.json"
+        path.write_text('{"unexpected": true}')
+        assert main(["verify", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestResilientFlags:
+    def test_deadline_partial_exit_3(self, channel_file, capsys):
+        # an impossible channel under a zero deadline: partial result,
+        # exit 3, and no traceback
+        code = main(
+            ["route", str(channel_file), "--tracks", "1",
+             "--deadline", "0", "--on-timeout", "partial"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "deadline hit" in out
+
+    def test_deadline_raise_exit_3(self, channel_file, capsys):
+        code = main(
+            ["route", str(channel_file), "--tracks", "1",
+             "--deadline", "0", "--on-timeout", "raise"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_max_attempts_enables_fallback(self, channel_file, capsys):
+        # density-1 track count is infeasible for Mighty, but the fallback
+        # cascade may extend the channel; either full success or exit 4
+        code = main(
+            ["route", str(channel_file), "--tracks", "1",
+             "--max-attempts", "2"]
+        )
+        assert code in (0, 4)
+
+    def test_generous_deadline_still_routes(self, switchbox_file):
+        assert main(["route", str(switchbox_file), "--deadline", "60"]) == 0
+
+    def test_negative_deadline_is_input_error(self, switchbox_file, capsys):
+        assert main(["route", str(switchbox_file), "--deadline", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_zero_max_attempts_is_input_error(self, switchbox_file, capsys):
+        assert (
+            main(["route", str(switchbox_file), "--max-attempts", "0"]) == 2
+        )
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_negative_sweep_deadline_is_input_error(
+        self, switchbox_file, capsys
+    ):
+        assert main(["sweep", str(switchbox_file), "--deadline", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestGenerate:
     def test_generate_channel_stdout(self, capsys):
         assert main(["generate", "channel", "--columns", "10", "--nets", "4"]) == 0
@@ -127,7 +206,7 @@ class TestGenerate:
             ["generate", "channel", "--columns", "12", "--nets", "5",
              "--seed", "3", "-o", str(path)]
         ) == 0
-        assert main(["route", str(path), "--tracks", "12"]) in (0, 1)
+        assert main(["route", str(path), "--tracks", "12"]) in (0, 4)
 
     def test_generate_deterministic(self, capsys):
         main(["generate", "channel", "--seed", "9"])

@@ -1,0 +1,256 @@
+"""Chaos and resilience tests for the routing engine layer.
+
+These tests use the deterministic fault-injection harness
+(:mod:`repro.testing.faults`) to break the router on a precise schedule and
+check the engine's contract: in the default configuration no exception ever
+escapes :meth:`RoutingEngine.route`, the returned result is internally
+consistent, and its routed subset passes independent verification.
+"""
+
+import pytest
+
+from repro.analysis import verify_result
+from repro.core import MightyConfig, MightyRouter, route_problem
+from repro.core.config import ORDERINGS
+from repro.engine import (
+    Deadline,
+    EngineConfig,
+    RoutingEngine,
+    escalated_config,
+    escalation_schedule,
+)
+from repro.errors import RouteInfeasible, RouteTimeout
+from repro.netlist.instances import simple_channel, small_switchbox
+from repro.testing import FaultInjector, FaultPlan, StepClock
+
+
+@pytest.fixture
+def box_problem():
+    return small_switchbox().to_problem()
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.never()
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_zero_budget_expires_immediately(self):
+        assert Deadline(0).expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1)
+
+    def test_step_clock_is_deterministic(self):
+        clock = StepClock(step=1.0)
+        deadline = Deadline(2.0, clock=clock)
+        assert not deadline.expired()  # elapsed 1.0
+        assert deadline.expired()  # elapsed 2.0
+        assert deadline.expired()  # stays expired
+
+    def test_check_raises_structured_timeout(self):
+        deadline = Deadline(0)
+        with pytest.raises(RouteTimeout) as excinfo:
+            deadline.check("unit test")
+        assert excinfo.value.context["deadline_s"] == 0
+
+
+class TestRouterDeadline:
+    def test_zero_deadline_skips_main_loop(self, box_problem):
+        # regression: an already-expired deadline must be honored before
+        # the first connection is popped, not after
+        result = MightyRouter(box_problem, MightyConfig()).route(
+            deadline=Deadline(0)
+        )
+        assert result.stats.iterations == 0
+        assert result.stats.timed_out
+        assert not result.success
+        assert result.status in ("partial", "failed")
+
+    def test_route_problem_threads_deadline(self, box_problem):
+        result = route_problem(box_problem, deadline=Deadline(0))
+        assert result.stats.timed_out
+        assert result.stats.deadline_s == 0
+
+    def test_generous_deadline_changes_nothing(self, box_problem):
+        result = route_problem(box_problem, deadline=Deadline(300))
+        assert result.success
+        assert not result.stats.timed_out
+        assert result.status == "complete"
+
+
+class TestEscalationPolicy:
+    def test_attempt_zero_is_base(self):
+        base = MightyConfig()
+        assert escalated_config(base, 0) is base
+
+    def test_orderings_rotate_without_repeat(self):
+        base = MightyConfig()
+        seen = [
+            escalated_config(base, n).ordering
+            for n in range(len(ORDERINGS))
+        ]
+        assert sorted(seen) == sorted(ORDERINGS)
+
+    def test_budgets_escalate_monotonically(self):
+        base = MightyConfig()
+        configs = list(escalation_schedule(base, 4))
+        rips = [c.max_rips_per_net for c in configs]
+        assert rips == sorted(rips) and rips[0] < rips[-1]
+
+    def test_ablation_toggles_preserved(self):
+        base = MightyConfig.weak_only()
+        late = escalated_config(base, 3)
+        assert late.enable_weak and not late.enable_strong
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            escalated_config(MightyConfig(), -1)
+
+
+class TestEngineHappyPath:
+    def test_routes_clean_problem(self, box_problem):
+        result = RoutingEngine().route(box_problem)
+        assert result.success
+        assert result.status == "complete"
+        assert len(result.stats.attempt_log) == 1
+        assert result.stats.attempt_log[0]["verified"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            EngineConfig(on_timeout="explode")
+        with pytest.raises(ValueError):
+            EngineConfig(deadline_s=-1)
+
+
+class TestEngineUnderChaos:
+    def test_partial_result_is_verified(self, box_problem):
+        # the searcher dies after 2 searches: whatever routed before the
+        # fault must come back as a verified partial result, no exception
+        plan = FaultPlan(fail_searches_after=3)
+        engine = RoutingEngine(EngineConfig(max_attempts=1))
+        with FaultInjector(plan) as chaos:
+            result = engine.route(box_problem)
+        assert chaos.failed_searches > 0
+        assert not result.success
+        assert result.status in ("partial", "failed")
+        if result.stats.routed_connections:
+            assert result.status == "partial"
+        # the routed subset verifies cleanly with known-open nets waived
+        report = verify_result(result.problem, result)
+        assert report.ok
+        assert report.waived_open == sorted(
+            {c.net_name for c in result.failed}
+        )
+
+    def test_crashing_searches_become_telemetry(self, box_problem):
+        plan = FaultPlan(fail_searches_after=1, raise_search_errors=True)
+        engine = RoutingEngine(EngineConfig(max_attempts=2))
+        with FaultInjector(plan):
+            result = engine.route(box_problem)  # must not raise
+        assert result.status == "failed"
+        assert result.stats.routed_connections == 0
+        assert len(result.stats.attempt_log) == 2
+        for record in result.stats.attempt_log:
+            assert "injected search fault" in record["error"]
+
+    def test_retries_survive_intermittent_faults(self, box_problem):
+        # every 7th search silently fails; the router's own retry passes
+        # plus the engine's escalated attempts must still converge
+        plan = FaultPlan(fail_searches_every=7)
+        engine = RoutingEngine(EngineConfig(max_attempts=3))
+        with FaultInjector(plan) as chaos:
+            result = engine.route(box_problem)
+        assert chaos.failed_searches > 0
+        assert result.success
+        assert verify_result(result.problem, result).ok
+
+    def test_slowdown_trips_deadline(self, box_problem):
+        plan = FaultPlan(slow_search_s=0.05)
+        engine = RoutingEngine(
+            EngineConfig(deadline_s=0.04, max_attempts=3)
+        )
+        with FaultInjector(plan):
+            result = engine.route(box_problem)
+        assert result.stats.timed_out
+        assert result.stats.deadline_s == 0.04
+        assert not result.success
+
+    def test_on_timeout_raise_carries_context(self, box_problem):
+        engine = RoutingEngine(
+            EngineConfig(deadline_s=0, on_timeout="raise")
+        )
+        with pytest.raises(RouteTimeout) as excinfo:
+            engine.route(box_problem)
+        context = excinfo.value.context
+        assert context["deadline_s"] == 0
+        assert context["connections"] > 0
+        assert "open_nets" in context
+
+    def test_on_infeasible_raise(self, box_problem):
+        plan = FaultPlan(fail_searches_after=1)
+        engine = RoutingEngine(
+            EngineConfig(max_attempts=1, on_infeasible="raise")
+        )
+        with FaultInjector(plan):
+            with pytest.raises(RouteInfeasible) as excinfo:
+                engine.route(box_problem)
+        assert excinfo.value.exit_code == 4
+        assert excinfo.value.context["routed"] == 0
+
+
+class TestFallbackCascade:
+    def test_classical_fallback_rescues_channel(self):
+        # Mighty is fully disabled by fault injection, but the greedy
+        # fallback does not use the maze searcher and completes
+        spec = simple_channel()
+        tracks = 4
+        problem = spec.to_problem(tracks)
+        engine = RoutingEngine(EngineConfig(max_attempts=1))
+        with FaultInjector(FaultPlan(fail_searches_after=1)):
+            result = engine.route(
+                problem, channel_spec=spec, tracks=tracks
+            )
+        assert result.success
+        assert result.router.startswith("fallback-")
+        assert result.status == "complete"
+        # judged against the (possibly extended) problem it actually solved
+        assert verify_result(result.problem, result).ok
+        stages = [r["stage"] for r in result.stats.attempt_log]
+        assert any(s.startswith("fallback-") for s in stages)
+
+    def test_no_fallback_without_channel_spec(self, box_problem):
+        engine = RoutingEngine(EngineConfig(max_attempts=1))
+        with FaultInjector(FaultPlan(fail_searches_after=1)):
+            result = engine.route(box_problem)
+        stages = [r["stage"] for r in result.stats.attempt_log]
+        assert all(not s.startswith("fallback-") for s in stages)
+
+    def test_fallback_disabled_by_config(self):
+        spec = simple_channel()
+        engine = RoutingEngine(
+            EngineConfig(max_attempts=1, enable_fallback=False)
+        )
+        with FaultInjector(FaultPlan(fail_searches_after=1)):
+            result = engine.route(
+                spec.to_problem(4), channel_spec=spec, tracks=4
+            )
+        assert not result.success
+
+
+class TestCheckpointResume:
+    def test_checkpoint_round_trip(self, box_problem, tmp_path):
+        from repro.core.serialize import load_checkpoint, save_checkpoint
+
+        first = route_problem(box_problem)
+        assert first.success
+        dump = tmp_path / "checkpoint.json"
+        save_checkpoint(dump, first)
+        problem, pre_routed = load_checkpoint(dump)
+        assert pre_routed  # every routed net carried over
+        resumed = RoutingEngine().route(problem, pre_routed=pre_routed)
+        assert resumed.success
+        assert verify_result(problem, resumed).ok

@@ -1,0 +1,77 @@
+"""Tests for the structured error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    EngineError,
+    InputError,
+    ReproError,
+    RouteInfeasible,
+    RouteTimeout,
+)
+
+
+class TestHierarchy:
+    def test_all_subclass_repro_error(self):
+        for cls in (InputError, RouteTimeout, RouteInfeasible, EngineError):
+            assert issubclass(cls, ReproError)
+
+    def test_input_error_is_value_error(self):
+        # legacy callers catching ValueError keep working
+        assert issubclass(InputError, ValueError)
+
+    def test_engine_error_is_runtime_error(self):
+        # legacy callers catching RuntimeError keep working
+        assert issubclass(EngineError, RuntimeError)
+
+    def test_catching_base_catches_all(self):
+        for cls in (InputError, RouteTimeout, RouteInfeasible, EngineError):
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+
+class TestExitCodes:
+    def test_distinct_exit_codes(self):
+        codes = {
+            ReproError("x").exit_code,
+            InputError("x").exit_code,
+            RouteTimeout("x").exit_code,
+            RouteInfeasible("x").exit_code,
+            EngineError("x").exit_code,
+        }
+        assert codes == {1, 2, 3, 4, 5}
+
+    def test_kind_labels(self):
+        assert InputError("x").kind == "input"
+        assert RouteTimeout("x").kind == "timeout"
+        assert RouteInfeasible("x").kind == "infeasible"
+        assert EngineError("x").kind == "engine"
+
+
+class TestContext:
+    def test_default_context_empty_dict(self):
+        err = ReproError("plain")
+        assert err.context == {}
+        assert str(err) == "plain"
+
+    def test_context_rendered_in_str(self):
+        err = RouteTimeout(
+            "deadline hit", context={"elapsed_s": 2.5, "deadline_s": 2.0}
+        )
+        text = str(err)
+        assert text.startswith("deadline hit")
+        assert "deadline_s=2.0" in text and "elapsed_s=2.5" in text
+
+    def test_to_dict_machine_readable(self):
+        err = RouteInfeasible("no luck", context={"open_nets": ["n1"]})
+        payload = err.to_dict()
+        assert payload["kind"] == "infeasible"
+        assert payload["message"] == "no luck"
+        assert payload["exit_code"] == 4
+        assert payload["context"] == {"open_nets": ["n1"]}
+
+    def test_context_is_copied(self):
+        ctx = {"a": 1}
+        err = ReproError("x", context=ctx)
+        ctx["b"] = 2
+        assert err.context == {"a": 1}

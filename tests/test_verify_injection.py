@@ -98,3 +98,84 @@ class TestInjectedViolations:
         report = verify_routing(problem, grid)
         assert not report.ok
         assert problem.nets[0].name in report.open_nets
+
+
+class TestFaultHarnessCorruption:
+    """The same violations delivered through the fault-injection harness."""
+
+    def test_injected_claim_corruption_detected(self):
+        from repro.testing import CORRUPT_OWNER, FaultInjector, FaultPlan
+
+        problem = small_switchbox().to_problem()
+        # commit #1 is later ripped up (the corruption goes with it); the
+        # second committed path survives to the final grid on this box
+        plan = FaultPlan(corrupt_claim_after=2)
+        with FaultInjector(plan) as chaos:
+            result = route_problem(problem)
+        assert chaos.corrupted_nodes, "harness must have corrupted a cell"
+        report = verify_routing(problem, result.grid)
+        assert not report.ok
+        assert any(str(CORRUPT_OWNER) in error for error in report.errors)
+
+    def test_harness_restores_real_hooks(self):
+        from repro.grid.routing_grid import RoutingGrid
+        from repro.testing import FaultInjector, FaultPlan
+        import repro.core.router as router_module
+
+        real_find = router_module.find_path
+        real_commit = RoutingGrid.commit_path
+        with FaultInjector(FaultPlan(fail_searches_after=1)):
+            assert router_module.find_path is not real_find
+        assert router_module.find_path is real_find
+        assert RoutingGrid.commit_path is real_commit
+
+    def test_harness_restores_on_exception(self):
+        import repro.core.router as router_module
+        from repro.testing import FaultInjector, FaultPlan
+
+        real_find = router_module.find_path
+        with pytest.raises(RuntimeError):
+            with FaultInjector(FaultPlan(fail_searches_after=1)):
+                raise RuntimeError("boom")
+        assert router_module.find_path is real_find
+
+
+class TestPartialVerification:
+    """Partial results verify cleanly with known-open nets waived."""
+
+    def test_allowed_open_waives_exactly_the_named_nets(self, routed):
+        problem, grid = routed
+        pin_map = grid.pin_map()
+        for node in list(grid.net_nodes(1)):
+            if int(pin_map[int(node.layer), node.y, node.x]) == 0:
+                grid._occ[int(node.layer), node.y, node.x] = 0
+        grid._via[grid._via == 1] = 0
+        name = problem.nets[0].name
+        report = verify_routing(problem, grid, allowed_open=[name])
+        assert report.ok
+        assert report.waived_open == [name]
+        assert name in report.open_nets  # still reported, just waived
+
+    def test_waiver_does_not_hide_structural_damage(self, routed):
+        problem, grid = routed
+        pin = problem.nets[0].pins[0]
+        other_id = problem.net_id(problem.nets[1].name)
+        grid._occ[int(pin.layer), pin.y, pin.x] = other_id
+        report = verify_routing(
+            problem, grid, allowed_open=[problem.nets[0].name]
+        )
+        assert not report.ok  # pin theft is never waivable
+
+    def test_verify_result_waives_router_reported_failures(self):
+        from repro.analysis import verify_result
+        from repro.testing import FaultInjector, FaultPlan
+
+        problem = small_switchbox().to_problem()
+        with FaultInjector(FaultPlan(fail_searches_after=3)):
+            result = route_problem(problem)
+        assert not result.success
+        report = verify_result(problem, result)
+        assert report.ok
+        assert set(report.waived_open) == {
+            c.net_name for c in result.failed
+        }
