@@ -15,6 +15,10 @@ Subcommands
 ``sweep``
     The paper's minimum-width experiment: shrink a switchbox column by
     column and report the narrowest box each router completes.
+``bench``
+    The routing performance suite (``repro.bench``): route the benchmark
+    workloads, write ``BENCH_routing.json``, optionally compare against a
+    baseline report and fail on regression (``--max-regression``).
 
 Exit codes
 ----------
@@ -285,6 +289,64 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite; optionally gate against a baseline."""
+    from repro import bench
+
+    if args.repeat < 1:
+        raise InputError("--repeat must be >= 1")
+    if args.max_regression is not None and args.max_regression < 0:
+        raise InputError("--max-regression must be non-negative")
+    report = bench.run_bench(
+        quick=args.quick,
+        repeat=args.repeat,
+        only=args.only or None,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    totals = report["totals"]
+    print(
+        f"{len(report['cases'])} cases: "
+        f"wall {totals['wall_s']:.3f}s, "
+        f"{totals['expansions']} expansions, "
+        f"{totals['searches']} searches"
+    )
+    regression = False
+    if args.compare:
+        try:
+            baseline = bench.load_report(Path(args.compare))
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            raise InputError(
+                f"cannot load baseline {args.compare}: {exc}",
+                context={"file": str(args.compare)},
+            ) from None
+        rows, overall = bench.compare_reports(
+            baseline, report, metric=args.metric
+        )
+        print(bench.format_compare(rows, overall, args.metric))
+        # Record the comparison inside the report so a single JSON file
+        # carries both the measurements and the speedup vs baseline.
+        report["compare"] = {
+            "baseline": str(args.compare),
+            "metric": args.metric,
+            "overall_ratio": round(overall, 4),
+            "cases": rows,
+        }
+        if args.max_regression is not None:
+            limit = 1.0 + args.max_regression / 100.0
+            report["compare"]["max_regression_pct"] = args.max_regression
+            regression = overall > limit
+            if regression:
+                print(
+                    f"REGRESSION: overall {args.metric} ratio "
+                    f"{overall:.3f}x exceeds the allowed "
+                    f"{limit:.3f}x (+{args.max_regression:g}%)",
+                    file=sys.stderr,
+                )
+    bench.write_report(report, Path(args.output))
+    print(f"wrote {args.output}")
+    return 1 if regression else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -359,6 +421,56 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("file")
     info.add_argument("--format", choices=("channel", "switchbox", "problem"))
     info.set_defaults(func=cmd_info)
+
+    bench = sub.add_parser(
+        "bench", help="run the routing performance benchmark suite"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the quick subset (the CI smoke suite)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route each case N times; wall time is the best run "
+        "(default: 1)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="CASE",
+        help="restrict the run to the named cases",
+    )
+    bench.add_argument(
+        "--output",
+        "-o",
+        default="BENCH_routing.json",
+        help="report path (default: BENCH_routing.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="baseline report to diff against; the comparison is printed "
+        "and embedded in the output report",
+    )
+    bench.add_argument(
+        "--metric",
+        choices=("wall_s", "expansions", "searches"),
+        default="wall_s",
+        help="comparison metric; expansions/searches are deterministic "
+        "and machine-independent (default: wall_s)",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        metavar="PCT",
+        help="with --compare: exit non-zero if the overall metric "
+        "regresses by more than PCT percent",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     generate = sub.add_parser("generate", help="emit a synthetic benchmark")
     generate.add_argument(

@@ -36,6 +36,11 @@ class Connection:
         Whether the connection is currently electrically satisfied.
     rips:
         How many times strong modification has ripped this connection.
+    seq:
+        Stable registration index assigned by the router.  Used as the
+        final sort tie-break wherever connections are ordered, so routing
+        decisions never depend on ``id()``-based set iteration order
+        (which varies with the process's prior allocations).
     chain_depth:
         Depth of the rip chain that re-queued this connection (0 for a
         fresh connection); the router cuts chains beyond a configured
@@ -49,6 +54,7 @@ class Connection:
     path: Optional[GridPath] = None
     routed: bool = False
     rips: int = 0
+    seq: int = 0
     chain_depth: int = 0
     deferrals: int = 0
 

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.core.decompose import Connection
 from repro.core.result import RouteResult
 from repro.grid.path import GridPath
+from repro.maze.arena import SearchArena
 from repro.maze.astar import find_path
 from repro.maze.cost import CostModel
 
@@ -67,16 +68,19 @@ def improve_routing(
     result: RouteResult,
     cost: Optional[CostModel] = None,
     passes: int = 2,
+    arena: Optional[SearchArena] = None,
 ) -> ImprovementStats:
     """Run the improvement phase on a finished :class:`RouteResult`.
 
     Mutates ``result`` in place (grid and connection paths) and returns the
     statistics.  Connections that failed to route are left untouched.
-    Total cost is guaranteed non-increasing.
+    Total cost is guaranteed non-increasing.  One search arena is shared
+    by every reroute attempt of the pass.
     """
     if passes < 0:
         raise ValueError("passes must be non-negative")
     model = cost or CostModel()
+    arena = arena or SearchArena()
     grid = result.grid
     stats = ImprovementStats(
         cost_before=sum(
@@ -127,6 +131,7 @@ def improve_routing(
                 [tuple(n) for n in source_component],
                 [tuple(n) for n in target_component],
                 cost=model,
+                arena=arena,
             )
             if candidate.found and candidate.cost < old_cost:
                 grid.commit_path(connection.net_id, candidate.path)

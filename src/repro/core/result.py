@@ -53,15 +53,40 @@ class RouteStats:
     ripped_connections: int = 0
     frozen_nets: int = 0
     iterations: int = 0
+    searches: int = 0
     expansions: int = 0
+    peak_journal_depth: int = 0
     elapsed_s: float = 0.0
     timed_out: bool = False
     deadline_s: Optional[float] = None
     attempt_log: List[Dict] = field(default_factory=list)
 
+    #: The scalar fields serialized by :meth:`as_dict`.  An explicit
+    #: whitelist — NOT ``self.__dict__`` — so telemetry/benchmark JSON has
+    #: a stable, flat schema; non-scalar fields (``attempt_log``) travel
+    #: separately when a consumer wants them.
+    SCALAR_FIELDS = (
+        "connections",
+        "routed_connections",
+        "failed_connections",
+        "hard_routes",
+        "weak_modifications",
+        "weak_rejections",
+        "strong_modifications",
+        "ripped_connections",
+        "frozen_nets",
+        "iterations",
+        "searches",
+        "expansions",
+        "peak_journal_depth",
+        "elapsed_s",
+        "timed_out",
+        "deadline_s",
+    )
+
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view for report tables."""
-        return dict(self.__dict__)
+        """Whitelisted scalar view for report tables and JSON telemetry."""
+        return {name: getattr(self, name) for name in self.SCALAR_FIELDS}
 
 
 @dataclass

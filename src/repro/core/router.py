@@ -5,7 +5,7 @@ The control loop implements the paper's three-tier strategy:
 1. route the connection through free fabric (hard search);
 2. *weak modification* — displace a small number of blocking connections,
    but only if each one can immediately be rerouted (all-or-nothing, undone
-   via a grid snapshot on failure);
+   on failure via the grid's O(path-length) change journal);
 3. *strong modification* — rip the blocking connections out, commit the
    blocked connection, and re-queue the victims.
 
@@ -49,6 +49,7 @@ from repro.core.result import RouteEvent, RouteResult, RouteStats
 from repro.grid.layers import Layer
 from repro.grid.path import GridPath
 from repro.grid.routing_grid import GridError, RoutingGrid
+from repro.maze.arena import SearchArena
 from repro.maze.astar import find_path
 from repro.netlist.net import Pin
 from repro.netlist.problem import RoutingProblem
@@ -67,12 +68,25 @@ class MightyRouter:
     """
 
     def __init__(
-        self, problem: RoutingProblem, config: Optional[MightyConfig] = None
+        self,
+        problem: RoutingProblem,
+        config: Optional[MightyConfig] = None,
+        arena: Optional[SearchArena] = None,
     ) -> None:
         self.problem = problem
         self.config = config or MightyConfig()
         self._grid: RoutingGrid = problem.build_grid()
+        # Scratch planes shared by every search this router issues; a
+        # caller running many related problems (e.g. a width sweep) may
+        # pass one arena to amortise across runs.
+        self._arena = arena or SearchArena()
         self._claims: Dict[Node, Set[Connection]] = {}
+        # While a weak-modification transaction is open, every claim
+        # add/remove is recorded here so a rejected attempt undoes claims
+        # in O(touched) instead of copying the whole claims table.
+        self._claims_journal: Optional[List[Tuple[Node, Connection, bool]]] = (
+            None
+        )
         self._net_connections: Dict[int, List[Connection]] = {}
         self._net_rips: Dict[int, int] = {}
         self._budgets: Dict[int, int] = {}
@@ -119,7 +133,8 @@ class MightyRouter:
         fixed = self._commit_pre_routed(pre_routed or {})
         connections = decompose_problem(self.problem)
         all_connections = connections + fixed
-        for connection in all_connections:
+        for seq, connection in enumerate(all_connections):
+            connection.seq = seq
             self._net_connections.setdefault(connection.net_id, []).append(
                 connection
             )
@@ -188,6 +203,7 @@ class MightyRouter:
             self._stats.connections - self._stats.routed_connections
         )
         self._stats.frozen_nets = len(self._frozen)
+        self._stats.peak_journal_depth = self._grid.journal_peak_depth
         self._stats.elapsed_s = time.perf_counter() - started
         self._stats.timed_out = timed_out
         if deadline is not None:
@@ -224,6 +240,7 @@ class MightyRouter:
         sources = [tuple(node) for node in source_component]
         targets = [tuple(node) for node in target_component]
 
+        self._stats.searches += 1
         hard = find_path(
             self._grid,
             net_id,
@@ -231,6 +248,7 @@ class MightyRouter:
             targets,
             cost=self.config.cost,
             max_expansions=self.config.max_expansions_per_search,
+            arena=self._arena,
         )
         self._stats.expansions += hard.expansions
         if hard.found:
@@ -246,6 +264,7 @@ class MightyRouter:
             frozen_net: rips * self.config.rip_escalation
             for frozen_net, rips in self._net_rips.items()
         }
+        self._stats.searches += 1
         soft = find_path(
             self._grid,
             net_id,
@@ -256,6 +275,7 @@ class MightyRouter:
             frozen_nets=frozenset(self._frozen),
             net_penalties=escalation,
             max_expansions=self.config.max_expansions_per_search,
+            arena=self._arena,
         )
         self._stats.expansions += soft.expansions
         if not soft.found:
@@ -304,28 +324,37 @@ class MightyRouter:
         path: GridPath,
         victims: List[Connection],
     ) -> bool:
-        """Displace ``victims``; keep only if everything reroutes at once."""
-        snapshot = self._grid.clone()
-        saved_claims = {
-            node: set(conns) for node, conns in self._claims.items()
-        }
+        """Displace ``victims``; keep only if everything reroutes at once.
+
+        All-or-nothing semantics come from the grid's change journal: the
+        whole attempt runs inside a transaction, and a failed attempt is
+        undone in O(cells touched) — not by restoring an O(area) snapshot.
+        """
         affected_nets = {victim.net_id for victim in victims}
         watched: List[Connection] = [connection]
         for net_id in affected_nets:
             watched.extend(self._net_connections.get(net_id, []))
         saved_state = [(c, c.path, c.routed) for c in watched]
 
-        for victim in victims:
-            self._rip(victim)
-        detached = self._cascade_rip(affected_nets)
-        self._commit(connection, path)
-        displaced = victims + detached
-        displaced_ok = True
-        for victim in sorted(displaced, key=lambda v: v.estimated_length):
-            if not self._reroute_hard(victim):
-                displaced_ok = False
-                break
+        self._grid.begin_txn()
+        self._claims_journal = []
+        try:
+            for victim in victims:
+                self._rip(victim)
+            detached = self._cascade_rip(affected_nets)
+            self._commit(connection, path)
+            displaced = victims + detached
+            displaced_ok = True
+            for victim in sorted(displaced, key=lambda v: v.estimated_length):
+                if not self._reroute_hard(victim):
+                    displaced_ok = False
+                    break
+        except BaseException:
+            self._undo_weak_attempt(saved_state)
+            raise
         if displaced_ok:
+            self._grid.commit_txn()
+            self._claims_journal = None
             self._stats.weak_modifications += 1
             self._record(
                 "weak",
@@ -334,13 +363,29 @@ class MightyRouter:
             )
             return True
         # All-or-nothing: undo the whole attempt.
-        self._grid.restore(snapshot)
-        self._claims = saved_claims
+        self._undo_weak_attempt(saved_state)
+        self._stats.weak_rejections += 1
+        return False
+
+    def _undo_weak_attempt(
+        self, saved_state: List[Tuple[Connection, Optional[GridPath], bool]]
+    ) -> None:
+        """Roll back grid, claims and connection flags of a weak attempt."""
+        self._grid.rollback_txn()
+        claims_journal = self._claims_journal or []
+        self._claims_journal = None
+        for node, conn, added in reversed(claims_journal):
+            if added:
+                owners = self._claims.get(node)
+                if owners is not None:
+                    owners.discard(conn)
+                    if not owners:
+                        del self._claims[node]
+            else:
+                self._claims.setdefault(node, set()).add(conn)
         for conn, old_path, old_routed in saved_state:
             conn.path = old_path
             conn.routed = old_routed
-        self._stats.weak_rejections += 1
-        return False
 
     def _do_strong(
         self,
@@ -388,6 +433,7 @@ class MightyRouter:
         target_component = self._grid.connected_component(
             net_id, tuple(connection.target_node)
         )
+        self._stats.searches += 1
         result = find_path(
             self._grid,
             net_id,
@@ -395,6 +441,7 @@ class MightyRouter:
             [tuple(n) for n in target_component],
             cost=self.config.cost,
             max_expansions=self.config.max_expansions_per_search,
+            arena=self._arena,
         )
         self._stats.expansions += result.expansions
         if not result.found:
@@ -408,20 +455,30 @@ class MightyRouter:
     # ------------------------------------------------------------------
     def _commit(self, connection: Connection, path: GridPath) -> None:
         self._grid.commit_path(connection.net_id, path)
+        journal = self._claims_journal
         for node in path:
-            self._claims.setdefault(tuple(node), set()).add(connection)
+            key = tuple(node)
+            owners = self._claims.setdefault(key, set())
+            if connection not in owners:
+                owners.add(connection)
+                if journal is not None:
+                    journal.append((key, connection, True))
         connection.path = path
         connection.routed = True
 
     def _rip(self, connection: Connection) -> None:
         if connection.path is not None:
             self._grid.remove_path(connection.net_id, connection.path)
+            journal = self._claims_journal
             for node in connection.path:
-                owners = self._claims.get(tuple(node))
-                if owners is not None:
+                key = tuple(node)
+                owners = self._claims.get(key)
+                if owners is not None and connection in owners:
                     owners.discard(connection)
+                    if journal is not None:
+                        journal.append((key, connection, False))
                     if not owners:
-                        del self._claims[tuple(node)]
+                        del self._claims[key]
         connection.path = None
         connection.routed = False
 
@@ -462,7 +519,12 @@ class MightyRouter:
                 # happen; pins are excluded by the search).  Refuse the plan.
                 return None
             victims.update(owners)
-        return sorted(victims, key=lambda c: (c.net_name, c.estimated_length))
+        # ``victims`` is a set of identity-hashed connections, so iteration
+        # order varies with memory addresses; ``seq`` makes the sort total
+        # and the routing trajectory reproducible run-to-run.
+        return sorted(
+            victims, key=lambda c: (c.net_name, c.estimated_length, c.seq)
+        )
 
     def _commit_pre_routed(
         self, pre_routed: Dict[str, List[GridPath]]
@@ -577,8 +639,13 @@ def route_problem(
     config: Optional[MightyConfig] = None,
     pre_routed: Optional[Dict[str, List[GridPath]]] = None,
     deadline: Optional["Deadline"] = None,
+    arena: Optional[SearchArena] = None,
 ) -> RouteResult:
-    """One-shot convenience wrapper around :class:`MightyRouter`."""
-    return MightyRouter(problem, config).route(
+    """One-shot convenience wrapper around :class:`MightyRouter`.
+
+    ``arena`` lets a caller running many problems (sweeps, benchmarks)
+    share one search arena across runs.
+    """
+    return MightyRouter(problem, config, arena=arena).route(
         pre_routed=pre_routed, deadline=deadline
     )

@@ -10,6 +10,21 @@ legitimately share cells (a later connection is allowed to run along copper
 laid by an earlier one), so the grid keeps a per-net reference count for
 every node and via.  Ripping one connection only frees cells whose count
 drops to zero.
+
+Two representations are kept in lock-step:
+
+* numpy arrays (``occupancy()``/``pin_map()``/``via_map()``) for the bulk
+  consumers — the verifier, metrics, rendering, region masking;
+* flat Python lists (``occ_flat()``/``pin_flat()``) for the search kernels,
+  whose per-cell reads are several times faster on plain lists than on
+  numpy scalars.
+
+Undo comes in two granularities.  :meth:`clone`/:meth:`restore` snapshot
+the whole grid — O(area), used sparingly for the router's coarse
+best-state bookmark.  :meth:`begin_txn`/:meth:`commit_txn`/
+:meth:`rollback_txn` journal only the cells a transaction actually touches,
+so undoing one failed modification attempt costs O(path length), which is
+what keeps the rip-up inner loop cheap.
 """
 
 from __future__ import annotations
@@ -27,9 +42,28 @@ from repro.grid.path import GridNode, GridPath
 FREE = 0
 OBSTACLE = -1
 
+# Journal entry tags (first tuple element of every journal record).
+_J_OCC = 0   # (tag, flat_index, old_owner)
+_J_VIA = 1   # (tag, flat_index, old_owner)
+_J_PIN = 2   # (tag, flat_index, old_owner)
+_J_USE = 3   # (tag, net_id, node, old_count)
+_J_VUSE = 4  # (tag, net_id, cell, old_count)
+
 
 class GridError(RuntimeError):
     """Raised when a commit/rip request is inconsistent with the grid."""
+
+
+def _copy_usage(table: Dict[int, Counter]) -> Dict[int, Counter]:
+    """Cheap deep copy of a usage table.
+
+    ``Counter.copy()`` is a plain dict copy (C speed), unlike
+    ``Counter(c)`` which re-counts every key; empty counters — common
+    after heavy rip-up — are dropped entirely instead of copied.
+    """
+    return defaultdict(
+        Counter, {net: usage.copy() for net, usage in table.items() if usage}
+    )
 
 
 class RoutingGrid:
@@ -61,6 +95,8 @@ class RoutingGrid:
         self._pin = np.full((2, height, width), FREE, dtype=np.int32)
         self._usage: Dict[int, Counter] = defaultdict(Counter)
         self._via_usage: Dict[int, Counter] = defaultdict(Counter)
+        self._journal: Optional[list] = None
+        self._journal_peak = 0
         if region is not None:
             bbox = region.bbox
             if bbox.x0 < 0 or bbox.y0 < 0 or bbox.x1 > width or bbox.y1 > height:
@@ -76,6 +112,15 @@ class RoutingGrid:
                 constant_values=False,
             )
             self._occ[:, blocked] = OBSTACLE
+        self._rebuild_flat_mirrors()
+
+    def _rebuild_flat_mirrors(self) -> None:
+        """Resync the list mirrors and flat views with the numpy arrays."""
+        self._occ_view = self._occ.reshape(-1)
+        self._pin_view = self._pin.reshape(-1)
+        self._via_view = self._via.reshape(-1)
+        self._occ_flat: List[int] = self._occ_view.tolist()
+        self._pin_flat: List[int] = self._pin_view.tolist()
 
     # ------------------------------------------------------------------
     # Queries
@@ -89,7 +134,7 @@ class RoutingGrid:
         x, y, layer = node
         if not self.in_bounds(x, y):
             return OBSTACLE
-        return int(self._occ[layer, y, x])
+        return self._occ_flat[(layer * self.height + y) * self.width + x]
 
     def via_owner(self, x: int, y: int) -> int:
         """Net id of the via at ``(x, y)``, or ``FREE``."""
@@ -100,7 +145,7 @@ class RoutingGrid:
         x, y, layer = node
         if not self.in_bounds(x, y):
             return FREE
-        return int(self._pin[layer, y, x])
+        return self._pin_flat[(layer * self.height + y) * self.width + x]
 
     def is_free(self, node: Tuple[int, int, int]) -> bool:
         """True when ``node`` is unoccupied and not an obstacle."""
@@ -125,7 +170,8 @@ class RoutingGrid:
     def occupancy(self) -> np.ndarray:
         """Read-only occupancy array of shape ``(2, height, width)``.
 
-        Exposed for the maze searcher's hot loop; treat as immutable.
+        Exposed for the bulk consumers (verifier, metrics, rendering);
+        treat as immutable.  The search kernels use :meth:`occ_flat`.
         """
         view = self._occ.view()
         view.flags.writeable = False
@@ -143,6 +189,98 @@ class RoutingGrid:
         view.flags.writeable = False
         return view
 
+    def occ_flat(self) -> List[int]:
+        """Flat occupancy mirror, C-order ``(layer, y, x)``.
+
+        The search kernels' hot view: a plain Python list whose per-cell
+        reads avoid numpy scalar boxing.  Callers MUST treat it as
+        read-only; it is kept in lock-step with :meth:`occupancy` by every
+        grid mutation.
+        """
+        return self._occ_flat
+
+    def pin_flat(self) -> List[int]:
+        """Flat pin-ownership mirror, C-order ``(layer, y, x)``; read-only."""
+        return self._pin_flat
+
+    # ------------------------------------------------------------------
+    # Change journal (transactions)
+    # ------------------------------------------------------------------
+    def begin_txn(self) -> None:
+        """Start recording changes for a cheap :meth:`rollback_txn`.
+
+        Transactions do not nest: the single caller that needs undo (the
+        router's all-or-nothing weak modification) is not reentrant, and
+        refusing nesting catches leaked transactions early.
+        """
+        if self._journal is not None:
+            raise GridError("transaction already open (no nesting)")
+        self._journal = []
+
+    def commit_txn(self) -> None:
+        """Keep every change since :meth:`begin_txn`; drop the journal."""
+        if self._journal is None:
+            raise GridError("no open transaction to commit")
+        self._journal_peak = max(self._journal_peak, len(self._journal))
+        self._journal = None
+
+    def rollback_txn(self) -> None:
+        """Undo every change since :meth:`begin_txn`, newest first.
+
+        Cost is proportional to the number of journaled cell touches —
+        O(path length) per undone attempt — not to the grid area.
+        """
+        journal = self._journal
+        if journal is None:
+            raise GridError("no open transaction to roll back")
+        self._journal_peak = max(self._journal_peak, len(journal))
+        self._journal = None  # undo writes below must not be re-journaled
+        occ_view, occ_flat = self._occ_view, self._occ_flat
+        pin_view, pin_flat = self._pin_view, self._pin_flat
+        via_view = self._via_view
+        for entry in reversed(journal):
+            tag = entry[0]
+            if tag == _J_OCC:
+                _, index, old = entry
+                occ_view[index] = old
+                occ_flat[index] = old
+            elif tag == _J_USE:
+                _, net_id, key, old = entry
+                usage = self._usage[net_id]
+                if old:
+                    usage[key] = old
+                else:
+                    usage.pop(key, None)
+            elif tag == _J_VIA:
+                _, index, old = entry
+                via_view[index] = old
+            elif tag == _J_VUSE:
+                _, net_id, key, old = entry
+                usage = self._via_usage[net_id]
+                if old:
+                    usage[key] = old
+                else:
+                    usage.pop(key, None)
+            else:  # _J_PIN
+                _, index, old = entry
+                pin_view[index] = old
+                pin_flat[index] = old
+
+    @property
+    def in_txn(self) -> bool:
+        """True while a transaction is open."""
+        return self._journal is not None
+
+    @property
+    def journal_depth(self) -> int:
+        """Entries recorded by the currently open transaction (0 if none)."""
+        return len(self._journal) if self._journal is not None else 0
+
+    @property
+    def journal_peak_depth(self) -> int:
+        """Largest journal any transaction on this grid ever reached."""
+        return self._journal_peak
+
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
@@ -153,12 +291,16 @@ class RoutingGrid:
         hard obstacle.  The cell must currently be free."""
         layers: Iterable[int] = (0, 1) if layer is None else (int(layer),)
         for l in layers:
-            current = int(self._occ[l, y, x])
+            index = (l * self.height + y) * self.width + x
+            current = self._occ_flat[index]
             if current not in (FREE, OBSTACLE):
                 raise GridError(
                     f"cannot place obstacle over net {current} at ({x},{y},{l})"
                 )
-            self._occ[l, y, x] = OBSTACLE
+            if self._journal is not None:
+                self._journal.append((_J_OCC, index, current))
+            self._occ_view[index] = OBSTACLE
+            self._occ_flat[index] = OBSTACLE
 
     def reserve_pin(self, net_id: int, node: Tuple[int, int, int]) -> None:
         """Permanently claim ``node`` for ``net_id`` as a pin.
@@ -175,9 +317,17 @@ class RoutingGrid:
                 f"pin of net {net_id} collides with {current} at {tuple(node)}"
             )
         key = GridNode(x, y, Layer(layer))
-        self._occ[layer, y, x] = net_id
-        self._pin[layer, y, x] = net_id
-        self._usage[net_id][key] += 1
+        index = (int(layer) * self.height + y) * self.width + x
+        usage = self._usage[net_id]
+        if self._journal is not None:
+            self._journal.append((_J_OCC, index, self._occ_flat[index]))
+            self._journal.append((_J_PIN, index, self._pin_flat[index]))
+            self._journal.append((_J_USE, net_id, key, usage.get(key, 0)))
+        self._occ_view[index] = net_id
+        self._occ_flat[index] = net_id
+        self._pin_view[index] = net_id
+        self._pin_flat[index] = net_id
+        usage[key] += 1
 
     def commit_path(self, net_id: int, path: GridPath) -> None:
         """Claim every node and via of ``path`` for ``net_id``.
@@ -188,9 +338,11 @@ class RoutingGrid:
         grid untouched.
         """
         self._check_net_id(net_id)
+        height, width = self.height, self.width
+        occ_flat = self._occ_flat
         for node in path:
-            current = self.owner(node)
-            if current not in (FREE, net_id):
+            current = occ_flat[(node.layer * height + node.y) * width + node.x]
+            if current != FREE and current != net_id:
                 raise GridError(
                     f"net {net_id} collides with {current} at {tuple(node)}"
                 )
@@ -200,13 +352,25 @@ class RoutingGrid:
                 raise GridError(
                     f"via of net {net_id} collides with {current} at {tuple(cell)}"
                 )
+        journal = self._journal
+        occ_view = self._occ_view
         usage = self._usage[net_id]
         for node in path:
-            self._occ[node.layer, node.y, node.x] = net_id
+            index = (node.layer * height + node.y) * width + node.x
+            if journal is not None:
+                journal.append((_J_OCC, index, occ_flat[index]))
+                journal.append((_J_USE, net_id, node, usage.get(node, 0)))
+            occ_view[index] = net_id
+            occ_flat[index] = net_id
             usage[node] += 1
+        via_view = self._via_view
         via_usage = self._via_usage[net_id]
         for cell in path.via_cells():
-            self._via[cell.y, cell.x] = net_id
+            index = cell.y * width + cell.x
+            if journal is not None:
+                journal.append((_J_VIA, index, int(via_view[index])))
+                journal.append((_J_VUSE, net_id, cell, via_usage.get(cell, 0)))
+            via_view[index] = net_id
             via_usage[cell] += 1
 
     def remove_path(self, net_id: int, path: GridPath) -> None:
@@ -220,54 +384,77 @@ class RoutingGrid:
                 raise GridError(
                     f"net {net_id} does not own {tuple(node)}; cannot rip"
                 )
+        height, width = self.height, self.width
+        journal = self._journal
+        occ_view, occ_flat = self._occ_view, self._occ_flat
         for node in path:
+            if journal is not None:
+                journal.append((_J_USE, net_id, node, usage[node]))
             usage[node] -= 1
             if usage[node] == 0:
                 del usage[node]
-                self._occ[node.layer, node.y, node.x] = FREE
+                index = (node.layer * height + node.y) * width + node.x
+                if journal is not None:
+                    journal.append((_J_OCC, index, occ_flat[index]))
+                occ_view[index] = FREE
+                occ_flat[index] = FREE
         via_usage = self._via_usage[net_id]
+        via_view = self._via_view
         for cell in path.via_cells():
             if via_usage[cell] <= 0:
                 raise GridError(
                     f"net {net_id} does not own via at {tuple(cell)}; cannot rip"
                 )
+            if journal is not None:
+                journal.append((_J_VUSE, net_id, cell, via_usage[cell]))
             via_usage[cell] -= 1
             if via_usage[cell] == 0:
                 del via_usage[cell]
-                self._via[cell.y, cell.x] = FREE
+                index = cell.y * width + cell.x
+                if journal is not None:
+                    journal.append((_J_VIA, index, int(via_view[index])))
+                via_view[index] = FREE
 
     # ------------------------------------------------------------------
-    # Snapshots (used by weak modification's all-or-nothing semantics)
+    # Snapshots (the coarse, whole-grid undo; transactions are the cheap one)
     # ------------------------------------------------------------------
     def clone(self) -> "RoutingGrid":
-        """Deep copy of the grid, usable as an undo point."""
+        """Deep copy of the grid, usable as an undo point.
+
+        O(area); the router uses this only for its coarse best-state
+        bookmark.  Per-attempt undo goes through the O(path) transaction
+        journal instead.
+        """
         copy = RoutingGrid.__new__(RoutingGrid)
         copy.width = self.width
         copy.height = self.height
         copy._occ = self._occ.copy()
         copy._via = self._via.copy()
         copy._pin = self._pin.copy()
-        copy._usage = defaultdict(
-            Counter, {n: Counter(c) for n, c in self._usage.items()}
-        )
-        copy._via_usage = defaultdict(
-            Counter, {n: Counter(c) for n, c in self._via_usage.items()}
-        )
+        copy._occ_view = copy._occ.reshape(-1)
+        copy._pin_view = copy._pin.reshape(-1)
+        copy._via_view = copy._via.reshape(-1)
+        copy._occ_flat = list(self._occ_flat)
+        copy._pin_flat = list(self._pin_flat)
+        copy._usage = _copy_usage(self._usage)
+        copy._via_usage = _copy_usage(self._via_usage)
+        copy._journal = None
+        copy._journal_peak = 0
         return copy
 
     def restore(self, snapshot: "RoutingGrid") -> None:
         """Reset this grid to the state captured by :meth:`clone`."""
         if (snapshot.width, snapshot.height) != (self.width, self.height):
             raise GridError("snapshot geometry mismatch")
+        if self._journal is not None:
+            raise GridError("cannot restore() while a transaction is open")
         self._occ[...] = snapshot._occ
         self._via[...] = snapshot._via
         self._pin[...] = snapshot._pin
-        self._usage = defaultdict(
-            Counter, {n: Counter(c) for n, c in snapshot._usage.items()}
-        )
-        self._via_usage = defaultdict(
-            Counter, {n: Counter(c) for n, c in snapshot._via_usage.items()}
-        )
+        self._occ_flat[:] = snapshot._occ_flat
+        self._pin_flat[:] = snapshot._pin_flat
+        self._usage = _copy_usage(snapshot._usage)
+        self._via_usage = _copy_usage(snapshot._via_usage)
 
     # ------------------------------------------------------------------
     # Connectivity helper (shared by the verifier and the router)

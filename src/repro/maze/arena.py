@@ -1,0 +1,149 @@
+"""Reusable scratch memory for the flat search kernels.
+
+The maze searchers are the hot loop of the whole library; the two costs
+that dominated them were per-search allocation (fresh ``dict``/``set``
+scratch per query, tuple nodes per expanded cell) and per-expansion
+neighbour arithmetic.  This module removes both:
+
+* :func:`neighbor_table` precomputes, once per grid shape, the flat
+  successor indices of every node — interleaved ``(succ, axis, x, y)``
+  quadruples, so the kernel inner loop does no bounds checks and no
+  divmods;
+* :class:`SearchArena` owns reusable cost/parent/stamp planes, recycled
+  across searches with a generation counter (bump the generation instead
+  of clearing — O(1) reset).  Planes are cached per grid shape, so one
+  arena serves a whole minimum-width sweep of shrinking boxes.
+
+Arenas are cheap to construct but not thread-safe; give each router (or
+each thread) its own.  Kernels fall back to a thread-local default arena
+when the caller does not pass one, so casual ``find_path`` calls stay
+allocation-light too.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+#: Axis codes stored in the neighbour tables (index into a per-layer cost
+#: row): 0 = x step, 1 = y step, 2 = via (layer change).
+AXIS_X = 0
+AXIS_Y = 1
+AXIS_VIA = 2
+
+#: Sentinel cost meaning "unreached" — larger than any reachable path cost.
+INF = 1 << 60
+
+#: Shapes cached globally for the (immutable) neighbour tables.  Bounded so
+#: a long-lived process sweeping many geometries cannot grow without limit.
+_MAX_CACHED_SHAPES = 64
+
+_neighbor_tables: "OrderedDict[Tuple[int, int], Tuple[tuple, ...]]" = (
+    OrderedDict()
+)
+_tables_lock = threading.Lock()
+
+
+def neighbor_table(width: int, height: int) -> Tuple[tuple, ...]:
+    """Per-node successor table for a ``width x height`` two-layer grid.
+
+    ``table[index]`` is a flat tuple of interleaved
+    ``(succ_index, axis, succ_x, succ_y)`` quadruples — every in-bounds
+    Manhattan neighbour on the same layer plus the via move to the other
+    layer.  Node indexing is C-order: ``index = (layer*height + y)*width + x``.
+
+    Tables are immutable and cached per shape (bounded LRU), so every
+    arena, searcher and thread shares one copy.
+    """
+    key = (width, height)
+    with _tables_lock:
+        table = _neighbor_tables.get(key)
+        if table is not None:
+            _neighbor_tables.move_to_end(key)
+            return table
+    table = _build_neighbor_table(width, height)
+    with _tables_lock:
+        _neighbor_tables[key] = table
+        _neighbor_tables.move_to_end(key)
+        while len(_neighbor_tables) > _MAX_CACHED_SHAPES:
+            _neighbor_tables.popitem(last=False)
+    return table
+
+
+def _build_neighbor_table(width: int, height: int) -> Tuple[tuple, ...]:
+    plane = width * height
+    entries: List[tuple] = []
+    for layer in (0, 1):
+        base_layer = layer * plane
+        via_offset = plane if layer == 0 else -plane
+        for y in range(height):
+            row = base_layer + y * width
+            for x in range(width):
+                index = row + x
+                moves: List[int] = []
+                if x + 1 < width:
+                    moves += (index + 1, AXIS_X, x + 1, y)
+                if x > 0:
+                    moves += (index - 1, AXIS_X, x - 1, y)
+                if y + 1 < height:
+                    moves += (index + width, AXIS_Y, x, y + 1)
+                if y > 0:
+                    moves += (index - width, AXIS_Y, x, y - 1)
+                moves += (index + via_offset, AXIS_VIA, x, y)
+                entries.append(tuple(moves))
+    return tuple(entries)
+
+
+class _Planes:
+    """Mutable scratch planes for one grid shape."""
+
+    __slots__ = ("best", "parent", "stamp", "generation")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.best: List[int] = [INF] * n_nodes
+        self.parent: List[int] = [-1] * n_nodes
+        self.stamp: List[int] = [0] * n_nodes
+        self.generation = 0
+
+    def next_generation(self) -> int:
+        """O(1) reset: values are valid only where ``stamp == generation``."""
+        self.generation += 1
+        return self.generation
+
+
+class SearchArena:
+    """Per-router scratch arena: reusable planes keyed by grid shape.
+
+    One arena amortises plane allocation across every search a router (or
+    a whole sweep of routers over related geometries) performs.  Not
+    thread-safe — a plane is reused by the very next search.
+    """
+
+    __slots__ = ("_planes", "searches_served")
+
+    def __init__(self) -> None:
+        self._planes: Dict[Tuple[int, int], _Planes] = {}
+        self.searches_served = 0
+
+    def planes(self, width: int, height: int) -> _Planes:
+        """Scratch planes for a ``width x height`` two-layer grid."""
+        key = (width, height)
+        planes = self._planes.get(key)
+        if planes is None:
+            planes = _Planes(2 * width * height)
+            self._planes[key] = planes
+        self.searches_served += 1
+        return planes
+
+
+_thread_local = threading.local()
+
+
+def default_arena() -> SearchArena:
+    """The calling thread's shared fallback arena."""
+    arena = getattr(_thread_local, "arena", None)
+    if arena is None:
+        arena = SearchArena()
+        _thread_local.arena = arena
+    return arena

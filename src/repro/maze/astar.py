@@ -1,8 +1,14 @@
 """A* path search on the two-layer routing grid.
 
-The searcher is the hot loop of the whole library, so it runs on flat numpy
-views and integer node indices (``idx = (layer * H + y) * W + x``) rather
-than on the object model.
+The searcher is the hot loop of the whole library, so it runs as a flat
+integer kernel: node ids ``idx = (layer * H + y) * W + x`` flow through the
+heap, successor moves come from the precomputed
+:func:`~repro.maze.arena.neighbor_table`, occupancy is read from the grid's
+plain-list mirror (:meth:`~repro.grid.routing_grid.RoutingGrid.occ_flat`),
+and cost/parent/visited planes are recycled from a
+:class:`~repro.maze.arena.SearchArena` with a generation stamp instead of a
+per-search clear.  A search therefore allocates almost nothing beyond its
+heap entries.
 
 Soft-conflict mode is the crucial feature for the paper's algorithm: with
 ``allow_conflicts=True`` the searcher may walk *through* cells owned by other
@@ -16,12 +22,13 @@ which is what makes the overall control loop provably finite.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from heapq import heappop, heappush
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.grid.path import GridPath
 from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
+from repro.maze.arena import SearchArena, default_arena, neighbor_table
 from repro.maze.cost import CostModel
 
 Node = Tuple[int, int, int]  # (x, y, layer)
@@ -52,6 +59,7 @@ def find_path(
     frozen_nets: FrozenSet[int] = frozenset(),
     net_penalties: Optional[dict] = None,
     max_expansions: Optional[int] = None,
+    arena: Optional[SearchArena] = None,
 ) -> SearchResult:
     """Cheapest legal walk from any source node to any target node.
 
@@ -78,6 +86,9 @@ def find_path(
         nets become progressively less attractive victims).
     max_expansions:
         Safety valve; defaults to ``8 * cells``.
+    arena:
+        Scratch arena whose planes the search reuses.  Routers pass their
+        own; casual callers fall back to a thread-local shared arena.
 
     Returns
     -------
@@ -89,7 +100,6 @@ def find_path(
     model = cost or CostModel()
     width, height = grid.width, grid.height
     plane = width * height
-    n_nodes = 2 * plane
 
     target_list = [(int(t[0]), int(t[1]), int(t[2])) for t in targets]
     if not target_list:
@@ -99,10 +109,14 @@ def find_path(
     if max_expansions is None:
         max_expansions = 8 * plane
 
-    occ = grid.occupancy().reshape(-1)  # (layer, y, x) C-order
-    pin = grid.pin_map().reshape(-1)
+    occ = grid.occ_flat()
+    pin = grid.pin_flat()
+    nbrs = neighbor_table(width, height)
+    planes = (arena or default_arena()).planes(width, height)
+    best, parent, stamp = planes.best, planes.parent, planes.stamp
+    gen = planes.next_generation()
 
-    target_idx: Set[int] = {
+    target_idx = {
         (layer * height + y) * width + x for x, y, layer in target_list
     }
     tx0 = min(t[0] for t in target_list)
@@ -111,48 +125,39 @@ def find_path(
     ty1 = max(t[1] for t in target_list)
 
     step = model.step_cost
-    wrong = model.step_cost + model.wrong_way_penalty
-    via_cost = model.via_cost
+    cost_rows = model.axis_cost_table
     base_penalty = model.conflict_penalty
     penalties = net_penalties or {}
+    penalties_get = penalties.get
     frozen = frozen_nets
-
-    # Per-layer axis costs: layer 0 runs east-west, layer 1 north-south.
-    dx_cost = (step, wrong)
-    dy_cost = (wrong, step)
-
-    INF = 1 << 60
-    best = {}
-    parents = {}
     frontier: List[Tuple[int, int, int]] = []
-
-    def heuristic(x: int, y: int) -> int:
-        dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
-        dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
-        return (dx + dy) * step
 
     for node in sources:
         x, y, layer = int(node[0]), int(node[1]), int(node[2])
         if not (0 <= x < width and 0 <= y < height):
             raise ValueError(f"source {tuple(node)} out of bounds")
         index = (layer * height + y) * width + x
-        owner = int(occ[index])
+        owner = occ[index]
         if owner != FREE and owner != net_id:
             raise ValueError(
                 f"source {tuple(node)} is not available to net {net_id} "
                 f"(owner {owner})"
             )
-        if best.get(index, INF) > 0:
+        if stamp[index] != gen or best[index] > 0:
+            stamp[index] = gen
             best[index] = 0
-            heapq.heappush(frontier, (heuristic(x, y), 0, index))
+            parent[index] = -1
+            dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
+            dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
+            heappush(frontier, ((dx + dy) * step, 0, index))
 
     expansions = 0
     goal = -1
     goal_cost = 0
 
     while frontier:
-        f, g, index = heapq.heappop(frontier)
-        if best.get(index, -1) != g:
+        f, g, index = heappop(frontier)
+        if stamp[index] != gen or best[index] != g:
             continue  # stale entry
         if index in target_idx:
             goal, goal_cost = index, g
@@ -160,46 +165,38 @@ def find_path(
         expansions += 1
         if expansions > max_expansions:
             break
-        layer, rest = divmod(index, plane)
-        y, x = divmod(rest, width)
-        hx = dx_cost[layer]
-        hy = dy_cost[layer]
-        neighbours = (
-            (index + 1, hx, x + 1, y) if x + 1 < width else None,
-            (index - 1, hx, x - 1, y) if x > 0 else None,
-            (index + width, hy, x, y + 1) if y + 1 < height else None,
-            (index - width, hy, x, y - 1) if y > 0 else None,
-            (index + plane, via_cost, x, y)
-            if layer == 0
-            else (index - plane, via_cost, x, y),
-        )
-        for move in neighbours:
-            if move is None:
-                continue
-            succ, move_cost, sx, sy = move
-            owner = int(occ[succ])
+        row = cost_rows[0] if index < plane else cost_rows[1]
+        moves = nbrs[index]
+        for k in range(0, len(moves), 4):
+            succ = moves[k]
+            owner = occ[succ]
             if owner == FREE or owner == net_id:
                 extra = 0
             elif owner == OBSTACLE or not allow_conflicts:
                 continue
-            elif owner in frozen or int(pin[succ]) != 0:
+            elif owner in frozen or pin[succ] != 0:
                 continue
             else:
-                extra = base_penalty + penalties.get(owner, 0)
-            new_g = g + move_cost + extra
-            if new_g < best.get(succ, INF):
-                best[succ] = new_g
-                parents[succ] = index
-                heapq.heappush(
-                    frontier, (new_g + heuristic(sx, sy), new_g, succ)
-                )
+                extra = base_penalty + penalties_get(owner, 0)
+            new_g = g + row[moves[k + 1]] + extra
+            if stamp[succ] != gen:
+                stamp[succ] = gen
+            elif best[succ] <= new_g:
+                continue
+            best[succ] = new_g
+            parent[succ] = index
+            sx = moves[k + 2]
+            sy = moves[k + 3]
+            dx = (tx0 - sx) if sx < tx0 else (sx - tx1) if sx > tx1 else 0
+            dy = (ty0 - sy) if sy < ty0 else (sy - ty1) if sy > ty1 else 0
+            heappush(frontier, (new_g + (dx + dy) * step, new_g, succ))
 
     if goal < 0:
         return SearchResult(path=None, expansions=expansions)
 
     indices = [goal]
-    while indices[-1] in parents:
-        indices.append(parents[indices[-1]])
+    while parent[indices[-1]] >= 0:
+        indices.append(parent[indices[-1]])
     indices.reverse()
     nodes: List[Node] = []
     conflicts: List[Node] = []
@@ -207,8 +204,8 @@ def find_path(
         layer, rest = divmod(index, plane)
         y, x = divmod(rest, width)
         nodes.append((x, y, layer))
-        owner = int(occ[index])
-        if owner not in (FREE, OBSTACLE, net_id):
+        owner = occ[index]
+        if owner != FREE and owner != OBSTACLE and owner != net_id:
             conflicts.append((x, y, layer))
     return SearchResult(
         path=GridPath(nodes),

@@ -13,6 +13,11 @@ preference order the paper describes for its modification machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: Per-layer move costs indexed by axis code (see :mod:`repro.maze.arena`):
+#: ``table[layer][axis]`` with axis 0 = x step, 1 = y step, 2 = via.
+AxisCostTable = Tuple[Tuple[int, int, int], Tuple[int, int, int]]
 
 
 @dataclass(frozen=True)
@@ -30,6 +35,25 @@ class CostModel:
         for attr in ("wrong_way_penalty", "via_cost", "conflict_penalty"):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} must be non-negative")
+        # Precompute the per-layer cost rows once per model: the searcher
+        # reads table[layer][axis] per expansion, never re-deriving the
+        # wrong-way arithmetic in the hot loop.  Layer 0 runs east-west,
+        # layer 1 north-south.
+        wrong = self.step_cost + self.wrong_way_penalty
+        object.__setattr__(
+            self,
+            "_axis_costs",
+            (
+                (self.step_cost, wrong, self.via_cost),
+                (wrong, self.step_cost, self.via_cost),
+            ),
+        )
+
+    @property
+    def axis_cost_table(self) -> AxisCostTable:
+        """Precomputed ``table[layer][axis]`` move costs (axis codes from
+        :mod:`repro.maze.arena`: 0 = x step, 1 = y step, 2 = via)."""
+        return self._axis_costs
 
     def wire_step(self, with_grain: bool) -> int:
         """Cost of one wire step, given whether it follows the layer grain."""

@@ -2,18 +2,23 @@
 
 Kept as the historically faithful baseline the paper builds on, and as a
 test oracle: under the uniform cost model the A* searcher must find paths of
-exactly the length Lee's wavefront reports.  The implementation is the
-textbook one — expand a wavefront of monotonically increasing labels from
-the sources, then retrace from the first labelled target.
+exactly the length Lee's wavefront reports.  The algorithm is the textbook
+one — expand a wavefront of monotonically increasing labels from the
+sources, then retrace from the first labelled target — but it runs on the
+same flat-index substrate as the production searcher: integer node ids, the
+shared :func:`~repro.maze.arena.neighbor_table`, the grid's plain-list
+occupancy mirror, and label/parent planes recycled from a
+:class:`~repro.maze.arena.SearchArena`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.grid.path import GridPath
 from repro.grid.routing_grid import FREE, RoutingGrid
+from repro.maze.arena import SearchArena, default_arena, neighbor_table
 
 Node = Tuple[int, int, int]
 
@@ -23,6 +28,7 @@ def lee_route(
     net_id: int,
     sources: Sequence[Node],
     targets: Iterable[Node],
+    arena: Optional[SearchArena] = None,
 ) -> Optional[GridPath]:
     """Shortest walk (uniform cost, vias count one step) or ``None``.
 
@@ -30,82 +36,67 @@ def lee_route(
     Lee's router predates rip-up, which is precisely the gap the paper
     fills.
     """
-    target_set = {(t[0], t[1], int(t[2])) for t in targets}
-    if not target_set or not sources:
-        raise ValueError("need at least one source and one target")
-    occ = grid.occupancy()
     width, height = grid.width, grid.height
+    plane = width * height
+    target_idx = {
+        (int(t[2]) * height + t[1]) * width + t[0] for t in targets
+    }
+    if not target_idx or not sources:
+        raise ValueError("need at least one source and one target")
 
-    def passable(x: int, y: int, layer: int) -> bool:
-        owner = int(occ[layer, y, x])
-        return owner == FREE or owner == net_id
+    occ = grid.occ_flat()
+    nbrs = neighbor_table(width, height)
+    planes = (arena or default_arena()).planes(width, height)
+    parent, stamp = planes.parent, planes.stamp
+    gen = planes.next_generation()
 
-    labels: Dict[Node, int] = {}
     frontier: deque = deque()
+    goal = -1
     for node in sources:
-        node = (node[0], node[1], int(node[2]))
-        if not grid.in_bounds(node[0], node[1]):
-            raise ValueError(f"source {node} out of bounds")
-        if not passable(*node):
-            raise ValueError(f"source {node} not available to net {net_id}")
-        labels[node] = 0
-        frontier.append(node)
+        x, y, layer = node[0], node[1], int(node[2])
+        if not grid.in_bounds(x, y):
+            raise ValueError(f"source {(x, y, layer)} out of bounds")
+        index = (layer * height + y) * width + x
+        owner = occ[index]
+        if owner != FREE and owner != net_id:
+            raise ValueError(
+                f"source {(x, y, layer)} not available to net {net_id}"
+            )
+        if stamp[index] != gen:
+            stamp[index] = gen
+            parent[index] = -1
+            if index in target_idx:
+                goal = index
+                break
+            frontier.append(index)
 
-    goal: Optional[Node] = None
-    for node in frontier:
-        if node in target_set:
-            goal = node
-            break
-
-    while frontier and goal is None:
-        node = frontier.popleft()
-        x, y, layer = node
-        label = labels[node]
-        for succ in _neighbours(x, y, layer, width, height):
-            if succ in labels or not passable(*succ):
+    while frontier and goal < 0:
+        index = frontier.popleft()
+        moves = nbrs[index]
+        for k in range(0, len(moves), 4):
+            succ = moves[k]
+            if stamp[succ] == gen:
                 continue
-            labels[succ] = label + 1
-            if succ in target_set:
+            owner = occ[succ]
+            if owner != FREE and owner != net_id:
+                continue
+            stamp[succ] = gen
+            parent[succ] = index
+            if succ in target_idx:
                 goal = succ
                 frontier.clear()
                 break
             frontier.append(succ)
 
-    if goal is None:
+    if goal < 0:
         return None
-    return _retrace(goal, labels, width, height)
-
-
-def _neighbours(
-    x: int, y: int, layer: int, width: int, height: int
-) -> List[Node]:
-    result: List[Node] = []
-    if x + 1 < width:
-        result.append((x + 1, y, layer))
-    if x - 1 >= 0:
-        result.append((x - 1, y, layer))
-    if y + 1 < height:
-        result.append((x, y + 1, layer))
-    if y - 1 >= 0:
-        result.append((x, y - 1, layer))
-    result.append((x, y, 1 - layer))
-    return result
-
-
-def _retrace(
-    goal: Node, labels: Dict[Node, int], width: int, height: int
-) -> GridPath:
-    """Walk back from the goal following strictly decreasing labels."""
-    nodes = [goal]
-    current = goal
-    while labels[current] > 0:
-        want = labels[current] - 1
-        for succ in _neighbours(*current, width, height):
-            if labels.get(succ) == want:
-                current = succ
-                nodes.append(current)
-                break
-        else:  # pragma: no cover - labels are always contiguous
-            raise RuntimeError("broken wavefront retrace")
-    nodes.reverse()
+    indices = [goal]
+    while parent[indices[-1]] >= 0:
+        indices.append(parent[indices[-1]])
+    indices.reverse()
+    nodes = []
+    for index in indices:
+        layer, rest = divmod(index, plane)
+        y, x = divmod(rest, width)
+        nodes.append((x, y, layer))
     return GridPath(nodes)

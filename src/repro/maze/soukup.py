@@ -14,7 +14,7 @@ the production two-layer searches use :mod:`repro.maze.astar`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,11 @@ def soukup_route(
     guaranteed shortest (the published trade-off); tests check legality and
     completeness, not optimality.  When a ``stats`` dict is passed, the
     number of cells the search touched is recorded under ``"cells"``.
+
+    Like the production searcher, the implementation is a flat integer
+    kernel (``idx = y * width + x``): one bulk conversion of the mask, a
+    ``bytearray`` visited plane and an integer parent plane replace the
+    per-cell tuple/set/dict churn of the textbook version.
     """
     height, width = passable.shape
     for point in (start, goal):
@@ -43,35 +48,25 @@ def soukup_route(
         if not passable[point.y, point.x]:
             raise ValueError(f"{point!r} is not passable")
 
-    start_cell, goal_cell = (start.x, start.y), (goal.x, goal.y)
-    if start_cell == goal_cell:
+    start_idx = start.y * width + start.x
+    goal_idx = goal.y * width + goal.x
+    if start_idx == goal_idx:
         if stats is not None:
             stats["cells"] = 1
         return [start]
 
-    parents: Dict[Cell, Cell] = {}
-    seen = {start_cell}
-    frontier: deque = deque([start_cell])
+    open_cells = passable.reshape(-1).tolist()
+    parent = [-1] * (width * height)
+    seen = bytearray(width * height)
+    seen[start_idx] = 1
+    seen_count = 1
+    frontier: deque = deque([start_idx])
+    gx, gy = goal.x, goal.y
 
     def finish(result):
         if stats is not None:
-            stats["cells"] = len(seen)
+            stats["cells"] = seen_count
         return result
-
-    def passable_cell(cell: Cell) -> bool:
-        x, y = cell
-        return 0 <= x < width and 0 <= y < height and bool(passable[y, x])
-
-    def towards_goal(cell: Cell) -> List[Cell]:
-        """Greedy moves ordered by progress toward the goal."""
-        x, y = cell
-        gx, gy = goal_cell
-        moves = []
-        if gx != x:
-            moves.append((x + (1 if gx > x else -1), y))
-        if gy != y:
-            moves.append((x, y + (1 if gy > y else -1)))
-        return moves
 
     while frontier:
         cell = frontier.popleft()
@@ -80,38 +75,66 @@ def soukup_route(
         sprinted = True
         while sprinted:
             sprinted = False
-            for move in towards_goal(current):
-                if move in seen or not passable_cell(move):
+            y, x = divmod(current, width)
+            # Greedy moves ordered by progress toward the goal: x first,
+            # then y (the textbook tie-break, kept for identical paths).
+            if gx > x:
+                moves = (current + 1,) if gy == y else (
+                    current + 1,
+                    current + width if gy > y else current - width,
+                )
+            elif gx < x:
+                moves = (current - 1,) if gy == y else (
+                    current - 1,
+                    current + width if gy > y else current - width,
+                )
+            elif gy != y:
+                moves = (current + width if gy > y else current - width,)
+            else:
+                moves = ()
+            for move in moves:
+                if seen[move] or not open_cells[move]:
                     continue
-                parents[move] = current
-                seen.add(move)
-                if move == goal_cell:
-                    return finish(_backtrace(move, parents, start_cell))
+                parent[move] = current
+                seen[move] = 1
+                seen_count += 1
+                if move == goal_idx:
+                    return finish(_backtrace(move, parent, start_idx, width))
                 frontier.appendleft(move)  # keep sprint cells hot
                 current = move
                 sprinted = True
                 break
         # Lee phase: one ring of plain expansion around the popped cell.
-        x, y = cell
-        for move in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
-            if move in seen or not passable_cell(move):
+        y, x = divmod(cell, width)
+        ring = []
+        if x + 1 < width:
+            ring.append(cell + 1)
+        if x > 0:
+            ring.append(cell - 1)
+        if y + 1 < height:
+            ring.append(cell + width)
+        if y > 0:
+            ring.append(cell - width)
+        for move in ring:
+            if seen[move] or not open_cells[move]:
                 continue
-            parents[move] = cell
-            seen.add(move)
-            if move == goal_cell:
-                return finish(_backtrace(move, parents, start_cell))
+            parent[move] = cell
+            seen[move] = 1
+            seen_count += 1
+            if move == goal_idx:
+                return finish(_backtrace(move, parent, start_idx, width))
             frontier.append(move)
     return finish(None)
 
 
 def _backtrace(
-    goal: Cell, parents: Dict[Cell, Cell], start: Cell
+    goal: int, parent: List[int], start: int, width: int
 ) -> List[Point]:
     cells = [goal]
     while cells[-1] != start:
-        cells.append(parents[cells[-1]])
+        cells.append(parent[cells[-1]])
     cells.reverse()
-    return [Point(*cell) for cell in cells]
+    return [Point(cell % width, cell // width) for cell in cells]
 
 
 def cells_expanded_ratio(

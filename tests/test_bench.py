@@ -1,0 +1,197 @@
+"""Tests for the benchmark harness (``repro.bench`` and ``repro bench``).
+
+The fast cases (``chan-simple``, ``chan-dogleg``) keep these tests cheap;
+comparison and gating logic are tested against hand-built reports so no
+timing enters the assertions.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    COMPARE_METRICS,
+    SCHEMA_VERSION,
+    bench_cases,
+    compare_reports,
+    format_compare,
+    load_report,
+    run_bench,
+    run_case,
+    write_report,
+)
+from repro.cli import main
+from repro.core.result import RouteStats
+
+FAST = ["chan-simple", "chan-dogleg"]
+
+
+class TestSuiteDefinition:
+    def test_case_names_unique(self):
+        names = [case.name for case in bench_cases()]
+        assert len(names) == len(set(names))
+
+    def test_quick_subset_is_nonempty_proper_subset(self):
+        cases = bench_cases()
+        quick = [case for case in cases if case.quick]
+        assert quick and len(quick) < len(cases)
+
+    def test_groups_cover_the_evaluation_tables(self):
+        groups = {case.group for case in bench_cases()}
+        assert {"channel", "switchbox", "region", "figure", "scaling"} <= groups
+
+
+class TestRunBench:
+    def test_report_shape_and_determinism(self):
+        report = run_bench(only=FAST)
+        assert report["schema"] == SCHEMA_VERSION
+        assert [row["name"] for row in report["cases"]] == FAST
+        for row in report["cases"]:
+            assert row["success"] is True
+            assert row["expansions"] > 0
+            assert row["searches"] > 0
+            assert row["peak_journal_depth"] >= 0
+            assert row["wall_s"] >= 0
+        # Work counters are deterministic run to run.
+        again = run_bench(only=FAST)
+        for first, second in zip(report["cases"], again["cases"]):
+            assert first["expansions"] == second["expansions"]
+            assert first["searches"] == second["searches"]
+        totals = report["totals"]
+        assert totals["expansions"] == sum(
+            row["expansions"] for row in report["cases"]
+        )
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(only=["no-such-case"])
+
+    def test_repeat_must_be_positive(self):
+        case = next(c for c in bench_cases() if c.name == "chan-dogleg")
+        with pytest.raises(ValueError):
+            run_case(case, repeat=0)
+
+
+def _report(cases):
+    return {
+        "schema": SCHEMA_VERSION,
+        "cases": [
+            {"name": name, "wall_s": wall, "expansions": exp, "searches": 1}
+            for name, wall, exp in cases
+        ],
+    }
+
+
+class TestCompare:
+    def test_ratios_and_overall(self):
+        old = _report([("a", 1.0, 100), ("b", 1.0, 100)])
+        new = _report([("a", 0.5, 100), ("b", 1.5, 300)])
+        rows, overall = compare_reports(old, new, metric="expansions")
+        assert [row["ratio"] for row in rows] == [1.0, 3.0]
+        assert overall == pytest.approx(2.0)  # summed: 400 / 200
+        rows, overall = compare_reports(old, new, metric="wall_s")
+        assert overall == pytest.approx(1.0)
+
+    def test_unknown_cases_and_metrics(self):
+        old = _report([("a", 1.0, 100)])
+        with pytest.raises(ValueError):
+            compare_reports(old, _report([("zzz", 1.0, 1)]))
+        with pytest.raises(ValueError):
+            compare_reports(old, old, metric="nonsense")
+        assert "wall_s" in COMPARE_METRICS
+
+    def test_format_mentions_every_case(self):
+        old = _report([("a", 1.0, 100)])
+        rows, overall = compare_reports(old, old, metric="expansions")
+        text = format_compare(rows, overall, "expansions")
+        assert "a" in text and "matches baseline" in text
+
+    def test_report_roundtrip_and_schema_check(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = _report([("a", 1.0, 100)])
+        write_report(report, path)
+        assert load_report(path)["cases"] == report["cases"]
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestBenchCli:
+    def test_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_routing.json"
+        code = main(["bench", "--only", *FAST, "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert {row["name"] for row in report["cases"]} == set(FAST)
+        assert "cases:" not in capsys.readouterr().err
+
+    def test_compare_embedded_and_gate_passes(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        out = tmp_path / "new.json"
+        assert main(["bench", "--only", *FAST, "-o", str(baseline)]) == 0
+        code = main(
+            [
+                "bench", "--only", *FAST, "-o", str(out),
+                "--compare", str(baseline),
+                "--metric", "expansions", "--max-regression", "25",
+            ]
+        )
+        assert code == 0
+        compare = json.loads(out.read_text())["compare"]
+        assert compare["metric"] == "expansions"
+        assert compare["overall_ratio"] == pytest.approx(1.0)
+        assert compare["max_regression_pct"] == 25
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        # A doctored baseline claiming far less work than reality.
+        real = run_bench(only=FAST)
+        for row in real["cases"]:
+            row["expansions"] = max(1, row["expansions"] // 10)
+        baseline = tmp_path / "base.json"
+        write_report(real, baseline)
+        code = main(
+            [
+                "bench", "--only", *FAST,
+                "-o", str(tmp_path / "new.json"),
+                "--compare", str(baseline),
+                "--metric", "expansions", "--max-regression", "25",
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bad_inputs_are_structured_errors(self, tmp_path, capsys):
+        assert main(["bench", "--only", *FAST, "--repeat", "0"]) == 2
+        assert (
+            main(
+                [
+                    "bench", "--only", *FAST,
+                    "-o", str(tmp_path / "out.json"),
+                    "--compare", str(tmp_path / "missing.json"),
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+
+class TestRouteStatsSerialization:
+    def test_as_dict_is_a_scalar_whitelist(self):
+        stats = RouteStats()
+        stats.attempt_log = [object()]  # runtime-only, must not leak
+        payload = stats.as_dict()
+        assert "attempt_log" not in payload
+        assert set(payload) == set(RouteStats.SCALAR_FIELDS)
+        assert all(
+            value is None or isinstance(value, (int, float, bool))
+            for value in payload.values()
+        )
+        # A fresh dict, not a live view of the instance.
+        payload["iterations"] = 999
+        assert stats.iterations != 999
+
+    def test_new_counters_serialized(self):
+        payload = RouteStats(searches=7, peak_journal_depth=41).as_dict()
+        assert payload["searches"] == 7
+        assert payload["peak_journal_depth"] == 41

@@ -1,0 +1,159 @@
+"""Tests of the shared flat-search substrate (arena, neighbor tables).
+
+All three maze searchers now run on one substrate: integer node ids, the
+precomputed neighbor table, and visited/cost planes recycled through a
+:class:`~repro.maze.arena.SearchArena`.  These tests pin down the
+substrate itself (table contents, generation-stamp reset) and the
+cross-searcher equivalences that held before the kernel swap: A* matches
+Lee's shortest lengths under the uniform cost model, and Soukup finds a
+path exactly when Lee does.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.grid import Layer, RoutingGrid
+from repro.maze import (
+    CostModel,
+    SearchArena,
+    default_arena,
+    find_path,
+    lee_route,
+    neighbor_table,
+)
+from repro.maze.arena import AXIS_VIA, AXIS_X, AXIS_Y
+from repro.maze.soukup import soukup_route
+
+
+class TestNeighborTable:
+    def test_interior_cell_has_all_five_moves(self):
+        width, height = 5, 4
+        table = neighbor_table(width, height)
+        index = (0 * height + 2) * width + 2  # (x=2, y=2, layer 0)
+        moves = table[index]
+        assert len(moves) == 5 * 4
+        axes = [moves[k + 1] for k in range(0, len(moves), 4)]
+        assert axes == [AXIS_X, AXIS_X, AXIS_Y, AXIS_Y, AXIS_VIA]
+        # The via successor is the same cell on the other layer.
+        assert moves[-4] == (1 * height + 2) * width + 2
+
+    def test_corner_cell_is_clipped(self):
+        width, height = 5, 4
+        table = neighbor_table(width, height)
+        moves = table[0]  # (0, 0, layer 0)
+        succ = {moves[k] for k in range(0, len(moves), 4)}
+        assert succ == {
+            1,  # +x
+            width,  # +y
+            (1 * height + 0) * width + 0,  # via
+        }
+
+    def test_coordinates_match_indices(self):
+        width, height = 6, 3
+        table = neighbor_table(width, height)
+        for index in range(len(table)):
+            moves = table[index]
+            for k in range(0, len(moves), 4):
+                succ, _, x, y = moves[k : k + 4]
+                assert succ % (width * height) == y * width + x
+
+    def test_cached_per_shape(self):
+        assert neighbor_table(7, 5) is neighbor_table(7, 5)
+        assert neighbor_table(7, 5) is not neighbor_table(5, 7)
+
+
+class TestSearchArena:
+    def test_planes_recycled_per_shape(self):
+        arena = SearchArena()
+        planes = arena.planes(8, 6)
+        assert arena.planes(8, 6) is planes
+        assert arena.planes(6, 8) is not planes
+
+    def test_generation_isolates_consecutive_searches(self):
+        """Reusing one arena must give the same answer as fresh planes."""
+        grid = RoutingGrid(10, 8)
+        shared = SearchArena()
+        for _ in range(3):
+            reused = find_path(
+                grid, 1, [(0, 0, 0)], [(9, 7, 0)], arena=shared
+            )
+            fresh = find_path(
+                grid, 1, [(0, 0, 0)], [(9, 7, 0)], arena=SearchArena()
+            )
+            assert reused.path is not None
+            assert list(reused.path) == list(fresh.path)
+            assert reused.expansions == fresh.expansions
+
+    def test_default_arena_is_reused(self):
+        assert default_arena() is default_arena()
+
+
+def _random_obstacle_grid(rng: random.Random, width=12, height=9):
+    """A grid with random obstacles on both layers (vias stay possible)."""
+    grid = RoutingGrid(width, height)
+    for _ in range(width * height // 4):
+        x = rng.randrange(width)
+        y = rng.randrange(height)
+        if (x, y) in ((0, 0), (width - 1, height - 1)):
+            continue
+        if grid.is_free((x, y, 0)):
+            grid.set_obstacle(x, y)
+    return grid
+
+
+class TestSearcherEquivalence:
+    """The oracle relations between the three searchers must survive the
+    flat-kernel rewrite."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_astar_matches_lee_length_under_uniform_cost(self, seed):
+        rng = random.Random(seed)
+        grid = _random_obstacle_grid(rng)
+        source = (0, 0, 0)
+        target = (grid.width - 1, grid.height - 1, 0)
+        lee = lee_route(grid, 1, [source], [target])
+        astar = find_path(
+            grid, 1, [source], [target], cost=CostModel.uniform()
+        )
+        if lee is None:
+            assert astar.path is None
+        else:
+            assert astar.path is not None
+            assert len(astar.path) == len(lee)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_soukup_complete_wherever_lee_routes(self, seed):
+        rng = random.Random(seed)
+        width, height = 14, 10
+        passable = np.ones((height, width), dtype=bool)
+        for _ in range(width * height // 3):
+            passable[rng.randrange(height), rng.randrange(width)] = False
+        passable[0, 0] = passable[height - 1, width - 1] = True
+
+        # Same maze as a single-layer RoutingGrid for the Lee oracle
+        # (layer 1 fully blocked so no via escapes exist).
+        grid = RoutingGrid(width, height)
+        for y in range(height):
+            for x in range(width):
+                if not passable[y, x]:
+                    grid.set_obstacle(x, y)
+                else:
+                    grid.set_obstacle(x, y, Layer.VERTICAL)
+
+        lee = lee_route(
+            grid, 1, [(0, 0, 0)], [(width - 1, height - 1, 0)]
+        )
+        soukup = soukup_route(
+            passable, Point(0, 0), Point(width - 1, height - 1)
+        )
+        assert (lee is None) == (soukup is None)
+        if soukup is not None:
+            # Legality: passable cells, unit steps, correct endpoints.
+            assert soukup[0] == Point(0, 0)
+            assert soukup[-1] == Point(width - 1, height - 1)
+            for a, b in zip(soukup, soukup[1:]):
+                assert abs(a.x - b.x) + abs(a.y - b.y) == 1
+                assert passable[b.y, b.x]
