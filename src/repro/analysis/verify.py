@@ -125,6 +125,12 @@ def verify_routing(
         )
 
     # --- connectivity -------------------------------------------------------
+    # Force the incremental index to re-derive every net from the
+    # occupancy/via arrays themselves: the verifier must not trust state
+    # the router maintained, only the copper.  The scoped re-floods cost
+    # the same O(net copper) the old per-net BFS did, without losing
+    # tamper-awareness.
+    grid.refresh_connectivity()
     connected: Dict[str, bool] = {}
     for index, net in enumerate(problem.nets):
         net_id = index + 1
@@ -143,8 +149,11 @@ def verify_routing(
             )
             connected[net.name] = False
             continue
-        component = grid.connected_component(net_id, tuple(net.pins[0].node))
-        good = all(pin.node in component for pin in net.pins)
+        anchor = tuple(net.pins[0].node)
+        good = all(
+            grid.same_component(net_id, anchor, tuple(pin.node))
+            for pin in net.pins
+        )
         connected[net.name] = good
         if not good:
             if net.name in allowed:
@@ -153,7 +162,9 @@ def verify_routing(
             stranded = [
                 (pin.x, pin.y)
                 for pin in net.pins
-                if pin.node not in component
+                if not grid.same_component(
+                    net_id, anchor, tuple(pin.node)
+                )
             ]
             errors.append(f"net {net.name!r} is open: stranded pins {stranded}")
 

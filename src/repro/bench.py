@@ -179,11 +179,16 @@ def run_case(
     case: BenchCase,
     config: Optional[MightyConfig] = None,
     repeat: int = 1,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Route ``case`` ``repeat`` times; wall time is the best (min) run.
 
     Work counters come from the last run — they are deterministic for a
-    given case, so any run reports the same numbers.
+    given case, so any run reports the same numbers.  With ``profile``
+    the row also carries the router's per-phase wall split (search,
+    connectivity, victim analysis, claims bookkeeping — measured at the
+    leaf operations, so the buckets are disjoint; ``other`` is the
+    remainder against the run's ``elapsed_s``).
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -198,7 +203,7 @@ def run_case(
         best_wall = min(best_wall, wall)
         stats = result.stats
         success = result.success
-    return {
+    row: Dict[str, object] = {
         "name": case.name,
         "group": case.group,
         "wall_s": round(best_wall, 6),
@@ -210,6 +215,37 @@ def run_case(
         "routed": int(stats.routed_connections),
         "success": bool(success),
     }
+    if profile:
+        phases = {
+            "search_s": round(stats.phase_search_s, 6),
+            "connectivity_s": round(stats.phase_connectivity_s, 6),
+            "victims_s": round(stats.phase_victims_s, 6),
+            "claims_s": round(stats.phase_claims_s, 6),
+        }
+        phases["other_s"] = round(
+            max(0.0, stats.elapsed_s - sum(phases.values())), 6
+        )
+        phases["elapsed_s"] = round(stats.elapsed_s, 6)
+        row["phases"] = phases
+    return row
+
+
+def _run_case_by_name(
+    name: str,
+    config: Optional[MightyConfig],
+    repeat: int,
+    profile: bool,
+) -> Dict[str, object]:
+    """Process-pool work unit: rebuild the case from the registry.
+
+    ``BenchCase.build`` closures do not pickle, so workers receive the
+    case *name* and look it up in :func:`bench_cases` themselves — the
+    registry is deterministic, so every process sees identical cases.
+    """
+    case = next((c for c in bench_cases() if c.name == name), None)
+    if case is None:
+        raise ValueError(f"unknown benchmark case {name!r}")
+    return run_case(case, config=config, repeat=repeat, profile=profile)
 
 
 def run_bench(
@@ -218,8 +254,22 @@ def run_bench(
     only: Optional[Sequence[str]] = None,
     config: Optional[MightyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+    profile: bool = False,
 ) -> Dict[str, object]:
-    """Run the suite and return the JSON-ready report dict."""
+    """Run the suite and return the JSON-ready report dict.
+
+    ``workers > 1`` routes the cases on a process pool.  The work
+    counters are per-case deterministic, so the report's ``expansions``
+    and ``searches`` are identical to a sequential run; the rows are
+    assembled in selection order regardless of completion order.  Wall
+    times are measured inside each worker and are subject to whatever
+    contention the pool creates — on a busy machine prefer ``workers=1``
+    for wall-clock comparisons and use the pool where only the counters
+    matter (the CI smoke gate).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     selected = [
         case
         for case in bench_cases()
@@ -228,10 +278,27 @@ def run_bench(
     if not selected:
         raise ValueError("benchmark selection is empty")
     rows: List[Dict[str, object]] = []
-    for case in selected:
-        if progress is not None:
-            progress(f"bench {case.name} ...")
-        rows.append(run_case(case, config=config, repeat=repeat))
+    if workers == 1:
+        for case in selected:
+            if progress is not None:
+                progress(f"bench {case.name} ...")
+            rows.append(
+                run_case(case, config=config, repeat=repeat, profile=profile)
+            )
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_case_by_name, case.name, config, repeat, profile
+                )
+                for case in selected
+            ]
+            for case, future in zip(selected, futures):
+                if progress is not None:
+                    progress(f"bench {case.name} ...")
+                rows.append(future.result())
     return {
         "schema": SCHEMA_VERSION,
         "created_unix": round(time.time(), 3),
@@ -239,6 +306,7 @@ def run_bench(
         "machine": platform.machine(),
         "quick": quick,
         "repeat": repeat,
+        "workers": workers,
         "cases": rows,
         "totals": {
             "wall_s": round(sum(r["wall_s"] for r in rows), 6),

@@ -185,13 +185,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.switchbox import minimum_routable_width
 
     spec = _load(Path(args.file), "switchbox")
+    if args.workers < 1:
+        raise InputError("--workers must be >= 1")
     try:
         deadline = Deadline(args.deadline)
     except ValueError as exc:
         raise InputError(str(exc)) from None
-    mighty = minimum_routable_width(spec, MightyConfig(), deadline=deadline)
+    mighty = minimum_routable_width(
+        spec, MightyConfig(), deadline=deadline, workers=args.workers
+    )
     naive = minimum_routable_width(
-        spec, MightyConfig.no_modification(), deadline=deadline
+        spec,
+        MightyConfig.no_modification(),
+        deadline=deadline,
+        workers=args.workers,
     )
     print(
         format_table(
@@ -289,19 +296,49 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_gates(args: argparse.Namespace, metrics) -> list:
+    """Collect (metric, pct) regression gates from --gate/--max-regression."""
+    gates = []
+    for metric, pct_text in args.gate or []:
+        if metric not in metrics:
+            raise InputError(
+                f"unknown gate metric {metric!r}",
+                context={"choices": list(metrics)},
+            )
+        try:
+            pct = float(pct_text)
+        except ValueError:
+            raise InputError(
+                f"gate threshold must be a number, got {pct_text!r}"
+            ) from None
+        if pct < 0:
+            raise InputError("gate threshold must be non-negative")
+        gates.append((metric, pct))
+    if args.max_regression is not None:
+        if args.max_regression < 0:
+            raise InputError("--max-regression must be non-negative")
+        gates.append((args.metric, args.max_regression))
+    return gates
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark suite; optionally gate against a baseline."""
     from repro import bench
 
     if args.repeat < 1:
         raise InputError("--repeat must be >= 1")
-    if args.max_regression is not None and args.max_regression < 0:
-        raise InputError("--max-regression must be non-negative")
+    if args.workers < 1:
+        raise InputError("--workers must be >= 1")
+    gates = _parse_gates(args, bench.COMPARE_METRICS)
+    if gates and not args.compare:
+        raise InputError("--gate/--max-regression require --compare")
     report = bench.run_bench(
         quick=args.quick,
         repeat=args.repeat,
         only=args.only or None,
         progress=lambda line: print(line, file=sys.stderr),
+        workers=args.workers,
+        profile=args.profile,
     )
     totals = report["totals"]
     print(
@@ -331,17 +368,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "overall_ratio": round(overall, 4),
             "cases": rows,
         }
-        if args.max_regression is not None:
-            limit = 1.0 + args.max_regression / 100.0
-            report["compare"]["max_regression_pct"] = args.max_regression
-            regression = overall > limit
-            if regression:
+        gate_records = []
+        for metric, pct in gates:
+            if metric == args.metric:
+                gate_overall = overall
+            else:
+                _, gate_overall = bench.compare_reports(
+                    baseline, report, metric=metric
+                )
+            limit = 1.0 + pct / 100.0
+            failed = gate_overall > limit
+            gate_records.append(
+                {
+                    "metric": metric,
+                    "max_regression_pct": pct,
+                    "overall_ratio": round(gate_overall, 4),
+                    "failed": failed,
+                }
+            )
+            if failed:
+                regression = True
                 print(
-                    f"REGRESSION: overall {args.metric} ratio "
-                    f"{overall:.3f}x exceeds the allowed "
-                    f"{limit:.3f}x (+{args.max_regression:g}%)",
+                    f"REGRESSION: overall {metric} ratio "
+                    f"{gate_overall:.3f}x exceeds the allowed "
+                    f"{limit:.3f}x (+{pct:g}%)",
                     file=sys.stderr,
                 )
+            else:
+                print(
+                    f"gate ok: {metric} {gate_overall:.3f}x "
+                    f"within +{pct:g}%"
+                )
+        if gate_records:
+            report["compare"]["gates"] = gate_records
+            # Kept for consumers of the pre-gate schema.
+            report["compare"]["max_regression_pct"] = gates[-1][1]
     bench.write_report(report, Path(args.output))
     print(f"wrote {args.output}")
     return 1 if regression else 0
@@ -409,6 +470,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock budget shared by the whole sweep",
     )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route widths speculatively on N processes; the sequential "
+        "stop rule is replayed so the answer matches --workers 1 "
+        "(default: 1)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     verify = sub.add_parser(
@@ -469,6 +539,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="with --compare: exit non-zero if the overall metric "
         "regresses by more than PCT percent",
+    )
+    bench.add_argument(
+        "--gate",
+        nargs=2,
+        action="append",
+        metavar=("METRIC", "PCT"),
+        help="with --compare: fail if METRIC regresses by more than PCT "
+        "percent; repeatable, so several counters can be gated at once",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route cases on N worker processes; counters are unaffected, "
+        "wall times contend for the machine (default: 1)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="record the router's per-phase wall split (search, "
+        "connectivity, victims, claims) in each case row",
     )
     bench.set_defaults(func=cmd_bench)
 

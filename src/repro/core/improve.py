@@ -92,12 +92,16 @@ def improve_routing(
         # Sibling connections may terminate on the copper being moved, so
         # a locally-sound reroute can still strand another connection's
         # endpoint; accept a change only if every pin of the whole net
-        # stays in one component.
+        # stays in one component (answered by the incremental index, not
+        # a from-scratch flood).
         pins = result.problem.net_by_id(net_id).pins
         if len(pins) < 2:
             return True
-        component = grid.connected_component(net_id, tuple(pins[0].node))
-        return all(pin.node in component for pin in pins[1:])
+        anchor = tuple(pins[0].node)
+        return all(
+            grid.same_component(net_id, anchor, tuple(pin.node))
+            for pin in pins[1:]
+        )
 
     for _ in range(passes):
         improved_this_pass = 0
@@ -109,10 +113,11 @@ def improve_routing(
             grid.remove_path(connection.net_id, old_path)
             connection.path = None
 
-            source_component = grid.connected_component(
-                connection.net_id, tuple(connection.source_node)
-            )
-            if connection.target_node in source_component:
+            source_node = tuple(connection.source_node)
+            target_node = tuple(connection.target_node)
+            if grid.same_component(
+                connection.net_id, source_node, target_node
+            ):
                 if not net_still_connected(connection.net_id):
                     # The removed copper carried a sibling's endpoint.
                     grid.commit_path(connection.net_id, old_path)
@@ -122,14 +127,21 @@ def improve_routing(
                 stats.removed_redundant += 1
                 improved_this_pass += 1
                 continue
-            target_component = grid.connected_component(
-                connection.net_id, tuple(connection.target_node)
-            )
             candidate = find_path(
                 grid,
                 connection.net_id,
-                [tuple(n) for n in source_component],
-                [tuple(n) for n in target_component],
+                [
+                    tuple(n)
+                    for n in grid.component_nodes(
+                        connection.net_id, source_node
+                    )
+                ],
+                [
+                    tuple(n)
+                    for n in grid.component_nodes(
+                        connection.net_id, target_node
+                    )
+                ],
                 cost=model,
                 arena=arena,
             )

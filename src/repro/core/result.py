@@ -57,6 +57,14 @@ class RouteStats:
     expansions: int = 0
     peak_journal_depth: int = 0
     elapsed_s: float = 0.0
+    #: Per-phase wall split: where ``elapsed_s`` actually went.  Measured
+    #: at the leaf operations so the four buckets are disjoint; whatever
+    #: they do not cover (queue management, ordering, event trace) is the
+    #: remainder against ``elapsed_s``.
+    phase_search_s: float = 0.0
+    phase_connectivity_s: float = 0.0
+    phase_victims_s: float = 0.0
+    phase_claims_s: float = 0.0
     timed_out: bool = False
     deadline_s: Optional[float] = None
     attempt_log: List[Dict] = field(default_factory=list)
@@ -80,6 +88,10 @@ class RouteStats:
         "expansions",
         "peak_journal_depth",
         "elapsed_s",
+        "phase_search_s",
+        "phase_connectivity_s",
+        "phase_victims_s",
+        "phase_claims_s",
         "timed_out",
         "deadline_s",
     )

@@ -97,6 +97,10 @@ class MightyRouter:
         self._routed = False
         self._best_routed = -1
         self._best_snapshot = None
+        # True while the *current* state is the best seen and no copy of
+        # it has been taken yet; see ``_note_best_state``.
+        self._best_pending = False
+        self._all_connections: List[Connection] = []
 
     # ------------------------------------------------------------------
     # Public API
@@ -133,6 +137,7 @@ class MightyRouter:
         fixed = self._commit_pre_routed(pre_routed or {})
         connections = decompose_problem(self.problem)
         all_connections = connections + fixed
+        self._all_connections = all_connections
         for seq, connection in enumerate(all_connections):
             connection.seq = seq
             self._net_connections.setdefault(connection.net_id, []).append(
@@ -225,22 +230,28 @@ class MightyRouter:
         self, connection: Connection, queue: Deque[Connection]
     ) -> bool:
         net_id = connection.net_id
-        source_component = self._grid.connected_component(
-            net_id, tuple(connection.source_node)
-        )
-        if connection.target_node in source_component:
+        source_node = tuple(connection.source_node)
+        target_node = tuple(connection.target_node)
+        tick = time.perf_counter()
+        if self._grid.same_component(net_id, source_node, target_node):
+            self._stats.phase_connectivity_s += time.perf_counter() - tick
             connection.path = None
             connection.routed = True
             self._stats.hard_routes += 1
             self._record("route", connection.net_name, "already connected")
             return True
-        target_component = self._grid.connected_component(
-            net_id, tuple(connection.target_node)
-        )
-        sources = [tuple(node) for node in source_component]
-        targets = [tuple(node) for node in target_component]
+        sources = [
+            tuple(node)
+            for node in self._grid.component_nodes(net_id, source_node)
+        ]
+        targets = [
+            tuple(node)
+            for node in self._grid.component_nodes(net_id, target_node)
+        ]
+        self._stats.phase_connectivity_s += time.perf_counter() - tick
 
         self._stats.searches += 1
+        tick = time.perf_counter()
         hard = find_path(
             self._grid,
             net_id,
@@ -250,6 +261,7 @@ class MightyRouter:
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
         )
+        self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += hard.expansions
         if hard.found:
             self._commit(connection, hard.path)
@@ -265,6 +277,7 @@ class MightyRouter:
             for frozen_net, rips in self._net_rips.items()
         }
         self._stats.searches += 1
+        tick = time.perf_counter()
         soft = find_path(
             self._grid,
             net_id,
@@ -277,6 +290,7 @@ class MightyRouter:
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
         )
+        self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += soft.expansions
         if not soft.found:
             return False
@@ -345,7 +359,17 @@ class MightyRouter:
             self._commit(connection, path)
             displaced = victims + detached
             displaced_ok = True
-            for victim in sorted(displaced, key=lambda v: v.estimated_length):
+            # The reroute order is total and explicit: estimated length,
+            # then position in ``displaced``.  The position is itself
+            # deterministic — ``_victims_of`` ends its key with ``seq``
+            # and the cascade scan follows insertion-ordered tables — so
+            # no tie is ever left to sort stability or identity hashes.
+            # (Re-keying ties on ``seq`` alone was measured to change the
+            # routing trajectory and lose a connection on fig-channel.)
+            for _, victim in sorted(
+                enumerate(displaced),
+                key=lambda iv: (iv[1].estimated_length, iv[0]),
+            ):
                 if not self._reroute_hard(victim):
                     displaced_ok = False
                     break
@@ -395,6 +419,10 @@ class MightyRouter:
         queue: Deque[Connection],
     ) -> None:
         """Rip ``victims``, commit the blocked connection, re-queue victims."""
+        # The rips below are the only mutations that persistently lower
+        # the routed count, so this is the one place the deferred
+        # best-state copy must happen before touching anything.
+        self._materialize_best_state()
         for victim in victims:
             self._rip(victim)
             victim.rips += 1
@@ -412,10 +440,13 @@ class MightyRouter:
             f"ripped {sorted(v.net_name for v in victims + detached)}",
         )
         # Victims reroute next, shortest first at the head of the queue.
-        for victim in sorted(
-            victims + detached,
-            key=lambda v: v.estimated_length,
-            reverse=True,
+        # Ties keep list position explicitly (longest-first needs the
+        # length negated, so stability can no longer be relied on); the
+        # position is deterministic because ``_victims_of`` seq-tiebreaks
+        # the victims and the cascade scan is insertion-ordered.
+        for _, victim in sorted(
+            enumerate(victims + detached),
+            key=lambda iv: (-iv[1].estimated_length, iv[0]),
         ):
             victim.chain_depth = connection.chain_depth + 1
             queue.appendleft(victim)
@@ -423,26 +454,35 @@ class MightyRouter:
     def _reroute_hard(self, connection: Connection) -> bool:
         """Plain hard reroute used for displaced victims."""
         net_id = connection.net_id
-        source_component = self._grid.connected_component(
-            net_id, tuple(connection.source_node)
-        )
-        if connection.target_node in source_component:
+        source_node = tuple(connection.source_node)
+        target_node = tuple(connection.target_node)
+        tick = time.perf_counter()
+        if self._grid.same_component(net_id, source_node, target_node):
+            self._stats.phase_connectivity_s += time.perf_counter() - tick
             connection.path = None
             connection.routed = True
             return True
-        target_component = self._grid.connected_component(
-            net_id, tuple(connection.target_node)
-        )
+        sources = [
+            tuple(n)
+            for n in self._grid.component_nodes(net_id, source_node)
+        ]
+        targets = [
+            tuple(n)
+            for n in self._grid.component_nodes(net_id, target_node)
+        ]
+        self._stats.phase_connectivity_s += time.perf_counter() - tick
         self._stats.searches += 1
+        tick = time.perf_counter()
         result = find_path(
             self._grid,
             net_id,
-            [tuple(n) for n in source_component],
-            [tuple(n) for n in target_component],
+            sources,
+            targets,
             cost=self.config.cost,
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
         )
+        self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += result.expansions
         if not result.found:
             return False
@@ -454,6 +494,7 @@ class MightyRouter:
     # Grid bookkeeping
     # ------------------------------------------------------------------
     def _commit(self, connection: Connection, path: GridPath) -> None:
+        tick = time.perf_counter()
         self._grid.commit_path(connection.net_id, path)
         journal = self._claims_journal
         for node in path:
@@ -465,8 +506,10 @@ class MightyRouter:
                     journal.append((key, connection, True))
         connection.path = path
         connection.routed = True
+        self._stats.phase_claims_s += time.perf_counter() - tick
 
     def _rip(self, connection: Connection) -> None:
+        tick = time.perf_counter()
         if connection.path is not None:
             self._grid.remove_path(connection.net_id, connection.path)
             journal = self._claims_journal
@@ -481,6 +524,7 @@ class MightyRouter:
                         del self._claims[key]
         connection.path = None
         connection.routed = False
+        self._stats.phase_claims_s += time.perf_counter() - tick
 
     def _cascade_rip(self, net_ids: Iterable[int]) -> List[Connection]:
         """Un-route siblings whose endpoints were split by earlier rips.
@@ -498,10 +542,16 @@ class MightyRouter:
                 for conn in self._net_connections.get(net_id, []):
                     if not conn.routed:
                         continue
-                    component = self._grid.connected_component(
-                        net_id, tuple(conn.source_node)
+                    tick = time.perf_counter()
+                    linked = self._grid.same_component(
+                        net_id,
+                        tuple(conn.source_node),
+                        tuple(conn.target_node),
                     )
-                    if conn.target_node not in component:
+                    self._stats.phase_connectivity_s += (
+                        time.perf_counter() - tick
+                    )
+                    if not linked:
                         self._rip(conn)
                         detached.append(conn)
                         changed = True
@@ -511,20 +561,24 @@ class MightyRouter:
         self, conflict_nodes: Sequence[Node]
     ) -> Optional[List[Connection]]:
         """Connections that own the conflict nodes (None when unrippable)."""
+        tick = time.perf_counter()
         victims: Set[Connection] = set()
         for node in conflict_nodes:
             owners = self._claims.get(tuple(node))
             if not owners:
                 # Foreign copper with no registered connection (should not
                 # happen; pins are excluded by the search).  Refuse the plan.
+                self._stats.phase_victims_s += time.perf_counter() - tick
                 return None
             victims.update(owners)
         # ``victims`` is a set of identity-hashed connections, so iteration
         # order varies with memory addresses; ``seq`` makes the sort total
         # and the routing trajectory reproducible run-to-run.
-        return sorted(
+        ordered = sorted(
             victims, key=lambda c: (c.net_name, c.estimated_length, c.seq)
         )
+        self._stats.phase_victims_s += time.perf_counter() - tick
+        return ordered
 
     def _commit_pre_routed(
         self, pre_routed: Dict[str, List[GridPath]]
@@ -553,17 +607,36 @@ class MightyRouter:
     # Best-state bookkeeping
     # ------------------------------------------------------------------
     def _note_best_state(self, connections: List[Connection]) -> None:
-        """Snapshot the grid whenever a new completion record is reached."""
+        """Record that a new completion record was reached — lazily.
+
+        Copying the grid and claims table on every record made the
+        snapshot path O(connections²) on a cleanly-progressing run.  The
+        copy is deferred: the routed count can only *decrease* through a
+        strong modification (weak attempts are all-or-nothing and roll
+        back; searches never mutate), so ``_do_strong`` materialises the
+        pending copy just before its first rip.  A run that never strong-
+        modifies after its last record never copies at all — its final
+        state *is* the best state.
+        """
         if not self.config.keep_best_state:
             return
         routed = sum(1 for c in connections if c.routed)
         if routed > self._best_routed:
             self._best_routed = routed
-            self._best_snapshot = (
-                self._grid.clone(),
-                {node: set(owners) for node, owners in self._claims.items()},
-                [(c, c.path, c.routed) for c in connections],
-            )
+            self._best_pending = True
+
+    def _materialize_best_state(self) -> None:
+        """Take the deferred best-state copy while the state still is it."""
+        if not self._best_pending:
+            return
+        self._best_pending = False
+        tick = time.perf_counter()
+        self._best_snapshot = (
+            self._grid.clone(),
+            {node: set(owners) for node, owners in self._claims.items()},
+            [(c, c.path, c.routed) for c in self._all_connections],
+        )
+        self._stats.phase_claims_s += time.perf_counter() - tick
 
     def _restore_best_state(self, connections: List[Connection]) -> None:
         """Roll back to the best snapshot if the final state is worse."""

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.geometry.point import Point
 from repro.geometry.region import RectilinearRegion
+from repro.grid.connectivity import _J_DIRTY, _J_UF, ConnectivityIndex
 from repro.grid.layers import Layer
 from repro.grid.path import GridNode, GridPath
 
@@ -43,6 +44,8 @@ FREE = 0
 OBSTACLE = -1
 
 # Journal entry tags (first tuple element of every journal record).
+# Tags 5 and 6 (union-find and dirty-flag undo records) are defined by
+# ``repro.grid.connectivity`` and handled in :meth:`rollback_txn`.
 _J_OCC = 0   # (tag, flat_index, old_owner)
 _J_VIA = 1   # (tag, flat_index, old_owner)
 _J_PIN = 2   # (tag, flat_index, old_owner)
@@ -113,6 +116,7 @@ class RoutingGrid:
             )
             self._occ[:, blocked] = OBSTACLE
         self._rebuild_flat_mirrors()
+        self._connectivity = ConnectivityIndex(self)
 
     def _rebuild_flat_mirrors(self) -> None:
         """Resync the list mirrors and flat views with the numpy arrays."""
@@ -121,6 +125,36 @@ class RoutingGrid:
         self._via_view = self._via.reshape(-1)
         self._occ_flat: List[int] = self._occ_view.tolist()
         self._pin_flat: List[int] = self._pin_view.tolist()
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers ship grids across processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the derived views/mirrors/index; they are rebuilt on load.
+
+        Naive pickling would serialise ``_occ_view`` as an *independent*
+        array, silently breaking the aliasing that keeps the flat mirrors
+        in lock-step with the numpy arrays.
+        """
+        if self._journal is not None:
+            raise GridError("cannot pickle a grid with an open transaction")
+        state = self.__dict__.copy()
+        for derived in (
+            "_occ_view",
+            "_pin_view",
+            "_via_view",
+            "_occ_flat",
+            "_pin_flat",
+            "_connectivity",
+        ):
+            state.pop(derived, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebuild_flat_mirrors()
+        self._connectivity = ConnectivityIndex(self)
+        self._connectivity.invalidate_all()
 
     # ------------------------------------------------------------------
     # Queries
@@ -238,6 +272,8 @@ class RoutingGrid:
         occ_view, occ_flat = self._occ_view, self._occ_flat
         pin_view, pin_flat = self._pin_view, self._pin_flat
         via_view = self._via_view
+        connectivity = self._connectivity
+        connectivity.drop_caches()
         for entry in reversed(journal):
             tag = entry[0]
             if tag == _J_OCC:
@@ -251,6 +287,12 @@ class RoutingGrid:
                     usage[key] = old
                 else:
                     usage.pop(key, None)
+            elif tag == _J_UF:
+                _, index, old_parent, old_rank = entry
+                connectivity.undo_uf(index, old_parent, old_rank)
+            elif tag == _J_DIRTY:
+                _, net_id, was_dirty = entry
+                connectivity.undo_dirty(net_id, was_dirty)
             elif tag == _J_VIA:
                 _, index, old = entry
                 via_view[index] = old
@@ -284,6 +326,25 @@ class RoutingGrid:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    def _flat_index(self, node: Tuple[int, int, int]) -> int:
+        """Flat C-order id of ``(x, y, layer)``; the one place the
+        ``(layer * H + y) * W + x`` arithmetic lives."""
+        x, y, layer = node
+        return (layer * self.height + y) * self.width + x
+
+    def _path_indices(self, path: GridPath) -> List[Tuple[int, GridNode]]:
+        """``(flat_index, node)`` pairs for every node of ``path``.
+
+        Computed once per commit/rip and shared by the occupancy, pin and
+        usage updates (and the connectivity hooks) instead of re-deriving
+        the index per table.
+        """
+        height, width = self.height, self.width
+        return [
+            ((node.layer * height + node.y) * width + node.x, node)
+            for node in path
+        ]
+
     def set_obstacle(
         self, x: int, y: int, layer: Optional[Layer] = None
     ) -> None:
@@ -317,7 +378,7 @@ class RoutingGrid:
                 f"pin of net {net_id} collides with {current} at {tuple(node)}"
             )
         key = GridNode(x, y, Layer(layer))
-        index = (int(layer) * self.height + y) * self.width + x
+        index = self._flat_index((x, y, int(layer)))
         usage = self._usage[net_id]
         if self._journal is not None:
             self._journal.append((_J_OCC, index, self._occ_flat[index]))
@@ -328,6 +389,8 @@ class RoutingGrid:
         self._pin_view[index] = net_id
         self._pin_flat[index] = net_id
         usage[key] += 1
+        if current == FREE:
+            self._connectivity.note_node_added(net_id, index, x, y, int(layer))
 
     def commit_path(self, net_id: int, path: GridPath) -> None:
         """Claim every node and via of ``path`` for ``net_id``.
@@ -338,15 +401,17 @@ class RoutingGrid:
         grid untouched.
         """
         self._check_net_id(net_id)
-        height, width = self.height, self.width
         occ_flat = self._occ_flat
-        for node in path:
-            current = occ_flat[(node.layer * height + node.y) * width + node.x]
+        width = self.width
+        indexed = self._path_indices(path)
+        for index, node in indexed:
+            current = occ_flat[index]
             if current != FREE and current != net_id:
                 raise GridError(
                     f"net {net_id} collides with {current} at {tuple(node)}"
                 )
-        for cell in path.via_cells():
+        via_cells = path.via_cells()
+        for cell in via_cells:
             current = self.via_owner(cell.x, cell.y)
             if current not in (FREE, net_id):
                 raise GridError(
@@ -355,23 +420,31 @@ class RoutingGrid:
         journal = self._journal
         occ_view = self._occ_view
         usage = self._usage[net_id]
-        for node in path:
-            index = (node.layer * height + node.y) * width + node.x
+        connectivity = self._connectivity
+        for index, node in indexed:
             if journal is not None:
                 journal.append((_J_OCC, index, occ_flat[index]))
                 journal.append((_J_USE, net_id, node, usage.get(node, 0)))
+            was_free = occ_flat[index] == FREE
             occ_view[index] = net_id
             occ_flat[index] = net_id
             usage[node] += 1
+            if was_free:
+                connectivity.note_node_added(
+                    net_id, index, node.x, node.y, int(node.layer)
+                )
         via_view = self._via_view
         via_usage = self._via_usage[net_id]
-        for cell in path.via_cells():
+        for cell in via_cells:
             index = cell.y * width + cell.x
             if journal is not None:
                 journal.append((_J_VIA, index, int(via_view[index])))
                 journal.append((_J_VUSE, net_id, cell, via_usage.get(cell, 0)))
+            was_free = int(via_view[index]) == FREE
             via_view[index] = net_id
             via_usage[cell] += 1
+            if was_free:
+                connectivity.note_via_added(net_id, cell.x, cell.y)
 
     def remove_path(self, net_id: int, path: GridPath) -> None:
         """Release ``path``'s claim; frees cells whose count drops to zero.
@@ -379,25 +452,27 @@ class RoutingGrid:
         Pin nodes keep their standing pin reference and therefore survive.
         """
         usage = self._usage[net_id]
-        for node in path:
+        indexed = self._path_indices(path)
+        for index, node in indexed:
             if usage[node] <= 0:
                 raise GridError(
                     f"net {net_id} does not own {tuple(node)}; cannot rip"
                 )
-        height, width = self.height, self.width
+        width = self.width
         journal = self._journal
         occ_view, occ_flat = self._occ_view, self._occ_flat
-        for node in path:
+        freed = False
+        for index, node in indexed:
             if journal is not None:
                 journal.append((_J_USE, net_id, node, usage[node]))
             usage[node] -= 1
             if usage[node] == 0:
                 del usage[node]
-                index = (node.layer * height + node.y) * width + node.x
                 if journal is not None:
                     journal.append((_J_OCC, index, occ_flat[index]))
                 occ_view[index] = FREE
                 occ_flat[index] = FREE
+                freed = True
         via_usage = self._via_usage[net_id]
         via_view = self._via_view
         for cell in path.via_cells():
@@ -414,6 +489,11 @@ class RoutingGrid:
                 if journal is not None:
                     journal.append((_J_VIA, index, int(via_view[index])))
                 via_view[index] = FREE
+                freed = True
+        if freed:
+            # A union-find cannot split: mark the net for a scoped
+            # re-flood on its next connectivity query.
+            self._connectivity.note_removed(net_id)
 
     # ------------------------------------------------------------------
     # Snapshots (the coarse, whole-grid undo; transactions are the cheap one)
@@ -440,6 +520,10 @@ class RoutingGrid:
         copy._via_usage = _copy_usage(self._via_usage)
         copy._journal = None
         copy._journal_peak = 0
+        # A fresh index marked all-dirty is cheaper than copying the live
+        # structure; snapshots are queried rarely (if ever) before mutation.
+        copy._connectivity = ConnectivityIndex(copy)
+        copy._connectivity.invalidate_all()
         return copy
 
     def restore(self, snapshot: "RoutingGrid") -> None:
@@ -455,10 +539,72 @@ class RoutingGrid:
         self._pin_flat[:] = snapshot._pin_flat
         self._usage = _copy_usage(snapshot._usage)
         self._via_usage = _copy_usage(snapshot._via_usage)
+        self._connectivity.invalidate_all()
 
     # ------------------------------------------------------------------
-    # Connectivity helper (shared by the verifier and the router)
+    # Connectivity (incremental index; BFS oracle kept for reference)
     # ------------------------------------------------------------------
+    def same_component(
+        self,
+        net_id: int,
+        a: Tuple[int, int, int],
+        b: Tuple[int, int, int],
+    ) -> bool:
+        """True when ``a`` and ``b`` are both owned by ``net_id`` and
+        connected through its copper.
+
+        Answered by the incremental connectivity index: O(log component)
+        after at most one scoped re-flood of the net's copper — never a
+        whole-grid flood.  Agrees with :meth:`connected_component`
+        membership on every honestly-maintained grid (the differential
+        tests assert this bit-for-bit).
+        """
+        ax, ay, _ = a
+        bx, by, _ = b
+        if not (self.in_bounds(ax, ay) and self.in_bounds(bx, by)):
+            return False
+        ia = self._flat_index(a)
+        ib = self._flat_index(b)
+        occ = self._occ_flat
+        if occ[ia] != net_id or occ[ib] != net_id:
+            return False
+        return self._connectivity.same_component(net_id, ia, ib)
+
+    def component_nodes(
+        self, net_id: int, seed: Tuple[int, int, int]
+    ) -> List[GridNode]:
+        """Nodes of the ``net_id`` component containing ``seed``, as a
+        cached flat list (empty when ``seed`` is not owned by the net).
+
+        The list is shared with the index's cache: treat it as read-only.
+        Use :meth:`connected_component` when a mutable set is wanted.
+        """
+        x, y, _ = seed
+        if not self.in_bounds(x, y):
+            return []
+        idx = self._flat_index(seed)
+        if self._occ_flat[idx] != net_id:
+            return []
+        return self._connectivity.component_nodes(net_id, idx)
+
+    def refresh_connectivity(self, net_id: Optional[int] = None) -> None:
+        """Force the index to re-derive from the occupancy/via arrays.
+
+        With ``net_id`` one net is invalidated, otherwise every net.  The
+        independent verifier calls this before its connectivity checks so
+        its queries re-flood from the copper itself instead of trusting
+        incrementally-maintained state.
+        """
+        if net_id is None:
+            self._connectivity.invalidate_all()
+        else:
+            self._connectivity.invalidate(net_id)
+
+    @property
+    def connectivity_index(self) -> ConnectivityIndex:
+        """The live index (exposed for tests and diagnostics)."""
+        return self._connectivity
+
     def connected_component(
         self, net_id: int, seed: Tuple[int, int, int]
     ) -> Set[GridNode]:
@@ -466,6 +612,11 @@ class RoutingGrid:
 
         Adjacency is a unit wire step on the same layer, or a layer change at
         a cell where the net owns a via.
+
+        This is the from-scratch BFS reference implementation — O(component)
+        per call.  Hot paths (router, improvement pass, verifier) use the
+        incremental index via :meth:`same_component`/:meth:`component_nodes`;
+        the BFS remains the oracle the differential tests compare against.
         """
         seed_node = GridNode(seed[0], seed[1], Layer(seed[2]))
         if self.owner(seed_node) != net_id:

@@ -5,10 +5,10 @@ that dominated them were per-search allocation (fresh ``dict``/``set``
 scratch per query, tuple nodes per expanded cell) and per-expansion
 neighbour arithmetic.  This module removes both:
 
-* :func:`neighbor_table` precomputes, once per grid shape, the flat
-  successor indices of every node — interleaved ``(succ, axis, x, y)``
-  quadruples, so the kernel inner loop does no bounds checks and no
-  divmods;
+* :func:`neighbor_table` precomputes, once per grid shape, the successor
+  moves of every node — one ``(succ, axis, x, y)`` tuple per move, so the
+  kernel inner loop is a bare tuple unpack: no bounds checks, no divmods,
+  no strided indexing;
 * :class:`SearchArena` owns reusable cost/parent/stamp planes, recycled
   across searches with a generation counter (bump the generation instead
   of clearing — O(1) reset).  Planes are cached per grid shape, so one
@@ -48,10 +48,11 @@ _tables_lock = threading.Lock()
 def neighbor_table(width: int, height: int) -> Tuple[tuple, ...]:
     """Per-node successor table for a ``width x height`` two-layer grid.
 
-    ``table[index]`` is a flat tuple of interleaved
-    ``(succ_index, axis, succ_x, succ_y)`` quadruples — every in-bounds
-    Manhattan neighbour on the same layer plus the via move to the other
-    layer.  Node indexing is C-order: ``index = (layer*height + y)*width + x``.
+    ``table[index]`` is a tuple of ``(succ_index, axis, succ_x, succ_y)``
+    move tuples — every in-bounds Manhattan neighbour on the same layer
+    plus the via move to the other layer.  Node indexing is C-order:
+    ``index = (layer*height + y)*width + x``.  The per-move tuples let the
+    search kernels iterate with a single unpack per move.
 
     Tables are immutable and cached per shape (bounded LRU), so every
     arena, searcher and thread shares one copy.
@@ -81,16 +82,16 @@ def _build_neighbor_table(width: int, height: int) -> Tuple[tuple, ...]:
             row = base_layer + y * width
             for x in range(width):
                 index = row + x
-                moves: List[int] = []
+                moves: List[tuple] = []
                 if x + 1 < width:
-                    moves += (index + 1, AXIS_X, x + 1, y)
+                    moves.append((index + 1, AXIS_X, x + 1, y))
                 if x > 0:
-                    moves += (index - 1, AXIS_X, x - 1, y)
+                    moves.append((index - 1, AXIS_X, x - 1, y))
                 if y + 1 < height:
-                    moves += (index + width, AXIS_Y, x, y + 1)
+                    moves.append((index + width, AXIS_Y, x, y + 1))
                 if y > 0:
-                    moves += (index - width, AXIS_Y, x, y - 1)
-                moves += (index + via_offset, AXIS_VIA, x, y)
+                    moves.append((index - width, AXIS_Y, x, y - 1))
+                moves.append((index + via_offset, AXIS_VIA, x, y))
                 entries.append(tuple(moves))
     return tuple(entries)
 

@@ -33,6 +33,16 @@ from repro.maze.cost import CostModel
 
 Node = Tuple[int, int, int]  # (x, y, layer)
 
+# Packed heap-key layout: ``(f << _F_SHIFT) | (g << _G_SHIFT) | index``.
+# Integer comparison of packed keys orders exactly like the (f, g, index)
+# tuples they replace: index gets 24 bits, g gets 28, f is open-ended at
+# the top (Python ints never overflow — f just grows past 64 bits).
+_G_SHIFT = 24
+_F_SHIFT = 52
+_INDEX_MASK = (1 << _G_SHIFT) - 1
+_FIELD_MASK = (1 << (_F_SHIFT - _G_SHIFT)) - 1
+_G_LIMIT = 1 << (_F_SHIFT - _G_SHIFT)
+
 
 @dataclass
 class SearchResult:
@@ -108,6 +118,11 @@ def find_path(
         raise ValueError("no sources given")
     if max_expansions is None:
         max_expansions = 8 * plane
+    if 2 * plane > _INDEX_MASK:
+        raise ValueError(
+            f"grid has {2 * plane} nodes; packed search keys support at "
+            f"most {_INDEX_MASK}"
+        )
 
     occ = grid.occ_flat()
     pin = grid.pin_flat()
@@ -126,11 +141,19 @@ def find_path(
 
     step = model.step_cost
     cost_rows = model.axis_cost_table
+    row0, row1 = cost_rows[0], cost_rows[1]
     base_penalty = model.conflict_penalty
     penalties = net_penalties or {}
     penalties_get = penalties.get
     frozen = frozen_nets
-    frontier: List[Tuple[int, int, int]] = []
+    push, pop = heappush, heappop
+    # Heap entries are ``(f << _F_SHIFT) | (g << _G_SHIFT) | index`` packed
+    # into one int: plain-int heap comparisons are markedly cheaper than
+    # element-wise tuple comparisons, and the packing is order-isomorphic
+    # to the ``(f, g, index)`` tuples it replaces (pop order — and thus the
+    # expansion trace — is bit-identical).  ``_G_LIMIT`` guards the g field
+    # against overflow into f on pathological cost models.
+    frontier: List[int] = []
 
     for node in sources:
         x, y, layer = int(node[0]), int(node[1]), int(node[2])
@@ -149,14 +172,16 @@ def find_path(
             parent[index] = -1
             dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
             dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
-            heappush(frontier, ((dx + dy) * step, 0, index))
+            push(frontier, (((dx + dy) * step) << _F_SHIFT) | index)
 
     expansions = 0
     goal = -1
     goal_cost = 0
 
     while frontier:
-        f, g, index = heappop(frontier)
+        entry = pop(frontier)
+        index = entry & _INDEX_MASK
+        g = (entry >> _G_SHIFT) & _FIELD_MASK
         if stamp[index] != gen or best[index] != g:
             continue  # stale entry
         if index in target_idx:
@@ -165,10 +190,8 @@ def find_path(
         expansions += 1
         if expansions > max_expansions:
             break
-        row = cost_rows[0] if index < plane else cost_rows[1]
-        moves = nbrs[index]
-        for k in range(0, len(moves), 4):
-            succ = moves[k]
+        row = row0 if index < plane else row1
+        for succ, axis, sx, sy in nbrs[index]:
             owner = occ[succ]
             if owner == FREE or owner == net_id:
                 extra = 0
@@ -178,18 +201,26 @@ def find_path(
                 continue
             else:
                 extra = base_penalty + penalties_get(owner, 0)
-            new_g = g + row[moves[k + 1]] + extra
+            new_g = g + row[axis] + extra
             if stamp[succ] != gen:
                 stamp[succ] = gen
             elif best[succ] <= new_g:
                 continue
             best[succ] = new_g
             parent[succ] = index
-            sx = moves[k + 2]
-            sy = moves[k + 3]
             dx = (tx0 - sx) if sx < tx0 else (sx - tx1) if sx > tx1 else 0
             dy = (ty0 - sy) if sy < ty0 else (sy - ty1) if sy > ty1 else 0
-            heappush(frontier, (new_g + (dx + dy) * step, new_g, succ))
+            if new_g >= _G_LIMIT:
+                raise ValueError(
+                    "path cost exceeds the packed-key g field "
+                    f"({new_g} >= {_G_LIMIT})"
+                )
+            push(
+                frontier,
+                ((new_g + (dx + dy) * step) << _F_SHIFT)
+                | (new_g << _G_SHIFT)
+                | succ,
+            )
 
     if goal < 0:
         return SearchResult(path=None, expansions=expansions)

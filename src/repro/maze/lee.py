@@ -72,9 +72,7 @@ def lee_route(
 
     while frontier and goal < 0:
         index = frontier.popleft()
-        moves = nbrs[index]
-        for k in range(0, len(moves), 4):
-            succ = moves[k]
+        for succ, _axis, _sx, _sy in nbrs[index]:
             if stamp[succ] == gen:
                 continue
             owner = occ[succ]

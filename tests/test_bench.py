@@ -71,6 +71,39 @@ class TestRunBench:
         with pytest.raises(ValueError):
             run_case(case, repeat=0)
 
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_bench(only=FAST, workers=0)
+
+    def test_workers_match_sequential_counters(self):
+        """The pool is a speed knob: counters and row order must be
+        identical to the sequential run."""
+        seq = run_bench(only=FAST)
+        par = run_bench(only=FAST, workers=2)
+        assert [r["name"] for r in par["cases"]] == FAST
+        for a, b in zip(seq["cases"], par["cases"]):
+            assert a["expansions"] == b["expansions"]
+            assert a["searches"] == b["searches"]
+            assert a["routed"] == b["routed"]
+        assert par["workers"] == 2
+        assert par["totals"]["expansions"] == seq["totals"]["expansions"]
+
+    def test_profile_rows_carry_disjoint_phase_split(self):
+        report = run_bench(only=FAST, profile=True)
+        for row in report["cases"]:
+            phases = row["phases"]
+            buckets = [
+                phases["search_s"], phases["connectivity_s"],
+                phases["victims_s"], phases["claims_s"], phases["other_s"],
+            ]
+            assert all(value >= 0 for value in buckets)
+            # Buckets are measured at disjoint leaf operations, so their
+            # sum cannot exceed the run's elapsed wall (other_s is the
+            # remainder, clamped at zero against timer noise).
+            assert sum(buckets) <= phases["elapsed_s"] + 1e-6
+        plain = run_bench(only=FAST)
+        assert all("phases" not in row for row in plain["cases"])
+
 
 def _report(cases):
     return {
@@ -160,8 +193,58 @@ class TestBenchCli:
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().err
 
+    def test_multi_metric_gates(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--only", *FAST, "-o", str(baseline)]) == 0
+        out = tmp_path / "new.json"
+        code = main(
+            [
+                "bench", "--only", *FAST, "-o", str(out),
+                "--compare", str(baseline),
+                "--gate", "expansions", "25",
+                "--gate", "searches", "25",
+            ]
+        )
+        assert code == 0
+        gates = json.loads(out.read_text())["compare"]["gates"]
+        assert [g["metric"] for g in gates] == ["expansions", "searches"]
+        assert all(g["failed"] is False for g in gates)
+        assert all(g["overall_ratio"] == pytest.approx(1.0) for g in gates)
+
+    def test_gate_fails_on_searches_regression(self, tmp_path, capsys):
+        real = run_bench(only=FAST)
+        for row in real["cases"]:
+            row["searches"] = max(1, row["searches"] // 10)
+        baseline = tmp_path / "base.json"
+        write_report(real, baseline)
+        code = main(
+            [
+                "bench", "--only", *FAST,
+                "-o", str(tmp_path / "new.json"),
+                "--compare", str(baseline),
+                "--gate", "expansions", "25",
+                "--gate", "searches", "25",
+            ]
+        )
+        assert code == 1
+        assert "searches" in capsys.readouterr().err
+
     def test_bad_inputs_are_structured_errors(self, tmp_path, capsys):
         assert main(["bench", "--only", *FAST, "--repeat", "0"]) == 2
+        assert main(["bench", "--only", *FAST, "--workers", "0"]) == 2
+        # Gates are meaningless without a baseline to compare against.
+        assert (
+            main(["bench", "--only", *FAST, "--gate", "searches", "25"]) == 2
+        )
+        assert (
+            main(
+                [
+                    "bench", "--only", *FAST,
+                    "--compare", "x.json", "--gate", "bogus", "25",
+                ]
+            )
+            == 2
+        )
         assert (
             main(
                 [

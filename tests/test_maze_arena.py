@@ -34,17 +34,18 @@ class TestNeighborTable:
         table = neighbor_table(width, height)
         index = (0 * height + 2) * width + 2  # (x=2, y=2, layer 0)
         moves = table[index]
-        assert len(moves) == 5 * 4
-        axes = [moves[k + 1] for k in range(0, len(moves), 4)]
-        assert axes == [AXIS_X, AXIS_X, AXIS_Y, AXIS_Y, AXIS_VIA]
+        assert len(moves) == 5
+        assert [axis for _, axis, _, _ in moves] == [
+            AXIS_X, AXIS_X, AXIS_Y, AXIS_Y, AXIS_VIA,
+        ]
         # The via successor is the same cell on the other layer.
-        assert moves[-4] == (1 * height + 2) * width + 2
+        assert moves[-1][0] == (1 * height + 2) * width + 2
 
     def test_corner_cell_is_clipped(self):
         width, height = 5, 4
         table = neighbor_table(width, height)
         moves = table[0]  # (0, 0, layer 0)
-        succ = {moves[k] for k in range(0, len(moves), 4)}
+        succ = {move[0] for move in moves}
         assert succ == {
             1,  # +x
             width,  # +y
@@ -55,9 +56,7 @@ class TestNeighborTable:
         width, height = 6, 3
         table = neighbor_table(width, height)
         for index in range(len(table)):
-            moves = table[index]
-            for k in range(0, len(moves), 4):
-                succ, _, x, y = moves[k : k + 4]
+            for succ, _, x, y in table[index]:
                 assert succ % (width * height) == y * width + x
 
     def test_cached_per_shape(self):

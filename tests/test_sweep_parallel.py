@@ -1,0 +1,70 @@
+"""The parallel sweep executor must be a pure speed knob.
+
+``minimum_routable_width(..., workers=N)`` routes widths speculatively on
+a process pool and then *replays* the sequential stop rule over the
+results, so the recorded widths, completion flags and minimum width must
+be identical to the ``workers=1`` run — speculation may waste work but
+never change the answer.  These tests pin that contract, plus the stop
+rule's truncation of speculative results and argument validation.
+"""
+
+import pytest
+
+from repro.core.config import MightyConfig
+from repro.engine.deadline import Deadline
+from repro.netlist.generators import woven_switchbox
+from repro.switchbox.sweep import minimum_routable_width, shrinking_sequence
+from repro.testing.faults import StepClock
+
+
+def _spec():
+    return woven_switchbox(12, 9, 8, seed=3, tangle=0.4)
+
+
+class TestParallelParity:
+    def test_workers_match_sequential_outcome(self):
+        spec = _spec()
+        seq = minimum_routable_width(spec, MightyConfig())
+        par = minimum_routable_width(spec, MightyConfig(), workers=2)
+        assert par.widths == seq.widths
+        assert par.completed == seq.completed
+        assert par.min_completed_width == seq.min_completed_width
+        # The per-width work counters are deterministic, so the
+        # speculative results are the *same* routing runs.
+        for a, b in zip(seq.results, par.results):
+            assert a.stats.expansions == b.stats.expansions
+            assert a.stats.searches == b.stats.searches
+
+    def test_stop_rule_truncates_speculation(self):
+        """The no-modification router fails early; results past the
+        consecutive-failure stop point must be discarded even though the
+        pool speculatively routed them."""
+        spec = _spec()
+        seq = minimum_routable_width(
+            spec, MightyConfig.no_modification(), stop_after_failures=1
+        )
+        par = minimum_routable_width(
+            spec,
+            MightyConfig.no_modification(),
+            stop_after_failures=1,
+            workers=3,
+        )
+        assert par.widths == seq.widths
+        assert par.completed == seq.completed
+        # The sweep stopped before exhausting the shrinking sequence.
+        assert len(par.widths) < len(shrinking_sequence(spec))
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            minimum_routable_width(_spec(), MightyConfig(), workers=0)
+
+
+class TestParallelDeadline:
+    def test_expired_deadline_routes_nothing(self):
+        # StepClock makes the 0-budget deadline expire deterministically.
+        deadline = Deadline(0.0, clock=StepClock(1.0))
+        outcome = minimum_routable_width(
+            _spec(), MightyConfig(), deadline=deadline, workers=2
+        )
+        assert outcome.widths == []
+        assert outcome.min_completed_width is None
