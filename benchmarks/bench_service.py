@@ -1,0 +1,259 @@
+"""Load generator for the routing daemon (``repro serve``).
+
+Boots a real in-process :class:`~repro.service.server.RoutingService`
+(asyncio front door plus warm worker processes, exactly what
+``repro serve`` runs), then drives it from concurrent client threads
+with a mixed workload in which every instance appears several times —
+some repeats verbatim, some as mirrored / net-relabeled twins — so the
+canonical-instance cache sees realistic hit traffic.
+
+Reports throughput (jobs/sec) and the client-observed latency
+distribution (p50 / p99), split into cache hits and misses, and merges a
+``service`` section into the repo-root ``BENCH_routing.json`` next to
+the routing-core numbers.  Run via ``pytest benchmarks/`` or directly:
+``PYTHONPATH=src python benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import statistics
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.errors import ReproError, ServiceUnavailable
+from repro.netlist.generators import random_switchbox, woven_switchbox
+from repro.netlist.instances import obstacle_region_problem, small_switchbox
+from repro.netlist.io import problem_to_dict
+from repro.service import RoutingService, ServiceClient, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ROOT_REPORT = REPO_ROOT / "BENCH_routing.json"
+
+WORKERS = 2
+CLIENT_THREADS = 4
+ROUNDS = 3  # each round submits the full workload once
+
+
+def mirrored_twin(payload: dict) -> dict:
+    """An isomorphic copy: mirrored in x, nets renamed and reordered."""
+    width = payload["width"]
+    return {
+        "name": payload.get("name", "bench") + "-twin",
+        "width": width,
+        "height": payload["height"],
+        "obstacles": [
+            [width - x1, y0, width - x0, y1] + rest
+            for x0, y0, x1, y1, *rest in payload.get("obstacles", [])
+        ],
+        "nets": [
+            {
+                "name": f"tw-{net['name']}",
+                "pins": [[width - 1 - x, y, layer]
+                         for x, y, layer in net["pins"]],
+            }
+            for net in reversed(payload["nets"])
+        ],
+    }
+
+
+def build_workload() -> list:
+    """(label, payload) pairs; distinct instances plus cache-bound twins."""
+    base = [
+        ("sb-small", problem_to_dict(small_switchbox().to_problem())),
+        ("reg-obstacle", problem_to_dict(obstacle_region_problem())),
+    ]
+    for seed in (0, 2, 3):  # feasible seeds: partials are never cached
+        base.append((
+            f"sb-rand-{seed}",
+            problem_to_dict(random_switchbox(10, 8, 6, seed=seed)
+                            .to_problem()),
+        ))
+    for seed in range(3):
+        base.append((
+            f"sb-woven-{seed}",
+            problem_to_dict(
+                woven_switchbox(12, 9, 8, seed=seed, tangle=0.3)
+                .to_problem()
+            ),
+        ))
+    workload = list(base)
+    # verbatim repeats and isomorphic twins: cache-hit traffic
+    workload += [(f"{label}+dup", payload) for label, payload in base]
+    workload += [
+        (f"{label}+twin", mirrored_twin(payload))
+        for label, payload in base
+        if not payload.get("region")  # twins of full-grid instances only
+    ]
+    return workload
+
+
+def percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def drive_load(client: ServiceClient, workload) -> dict:
+    """Submit the workload from concurrent threads; returns raw samples."""
+    samples = []
+    lock = threading.Lock()
+
+    def one(item):
+        label, payload = item
+        start = time.perf_counter()
+        try:
+            response = client.submit(payload, deadline_s=30.0)
+        except ReproError as exc:
+            with lock:
+                samples.append(
+                    {"label": label, "ok": False, "error": type(exc).__name__}
+                )
+            return
+        latency = time.perf_counter() - start
+        with lock:
+            samples.append({
+                "label": label,
+                "ok": True,
+                "latency_s": latency,
+                "cache": response["job"]["cache"],
+                "queue_wait_s": response["job"].get("queue_wait_s", 0.0),
+            })
+
+    jobs = [item for _ in range(ROUNDS) for item in workload]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        list(pool.map(one, jobs))
+    return {"samples": samples, "wall_s": time.perf_counter() - started}
+
+
+def summarise(raw: dict) -> dict:
+    samples = raw["samples"]
+    ok = [s for s in samples if s["ok"]]
+    hits = [s for s in ok if s["cache"] == "hit"]
+    misses = [s for s in ok if s["cache"] == "miss"]
+    latencies = [s["latency_s"] for s in ok]
+
+    def block(subset):
+        if not subset:
+            return {"count": 0}
+        lats = [s["latency_s"] for s in subset]
+        return {
+            "count": len(subset),
+            "p50_ms": round(1e3 * percentile(lats, 0.50), 3),
+            "p99_ms": round(1e3 * percentile(lats, 0.99), 3),
+            "mean_ms": round(1e3 * statistics.mean(lats), 3),
+        }
+
+    return {
+        "schema": 1,
+        "workers": WORKERS,
+        "client_threads": CLIENT_THREADS,
+        "jobs": len(samples),
+        "completed": len(ok),
+        "errors": len(samples) - len(ok),
+        "jobs_per_s": round(len(ok) / raw["wall_s"], 2),
+        "wall_s": round(raw["wall_s"], 4),
+        "p50_ms": round(1e3 * percentile(latencies, 0.50), 3),
+        "p99_ms": round(1e3 * percentile(latencies, 0.99), 3),
+        "cache_hit_rate": round(len(hits) / max(1, len(ok)), 4),
+        "hits": block(hits),
+        "misses": block(misses),
+    }
+
+
+def merge_into_root_report(section: dict) -> None:
+    """Attach the service numbers to the repo-root routing report."""
+    report = {}
+    if ROOT_REPORT.exists():
+        report = json.loads(ROOT_REPORT.read_text())
+    report["service"] = section
+    ROOT_REPORT.write_text(json.dumps(report, indent=1, sort_keys=True))
+
+
+def run_service_bench() -> dict:
+    socket_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-svc-"), "bench.sock"
+    )
+    service = RoutingService(ServiceConfig(
+        socket_path=socket_path,
+        workers=WORKERS,
+        queue_limit=64,  # the bench measures latency, not shedding
+        cache_capacity=256,
+    ))
+    exit_code = {}
+    thread = threading.Thread(
+        target=lambda: exit_code.update(code=asyncio.run(service.run())),
+        daemon=True,
+    )
+    thread.start()
+    client = ServiceClient(socket_path, timeout_s=300.0)
+    for _ in range(200):
+        try:
+            client.health()
+            break
+        except ServiceUnavailable:
+            time.sleep(0.05)
+    else:
+        raise RuntimeError("bench service did not come up")
+    try:
+        raw = drive_load(client, build_workload())
+    finally:
+        client.shutdown()
+        thread.join(60)
+    summary = summarise(raw)
+    summary["server_exit_code"] = exit_code.get("code")
+    return summary
+
+
+def render(summary: dict) -> str:
+    rows = [
+        ["all", summary["completed"], summary["p50_ms"], summary["p99_ms"],
+         summary["jobs_per_s"]],
+        ["cache hits", summary["hits"]["count"],
+         summary["hits"].get("p50_ms", "-"),
+         summary["hits"].get("p99_ms", "-"), ""],
+        ["cache misses", summary["misses"]["count"],
+         summary["misses"].get("p50_ms", "-"),
+         summary["misses"].get("p99_ms", "-"), ""],
+    ]
+    return format_table(
+        ["jobs", "count", "p50 ms", "p99 ms", "jobs/s"],
+        rows,
+        title=(
+            f"Routing service load test "
+            f"({WORKERS} workers, {CLIENT_THREADS} clients, "
+            f"hit rate {100 * summary['cache_hit_rate']:.0f}%)"
+        ),
+    )
+
+
+def test_service_throughput(output_dir: Path) -> None:
+    summary = run_service_bench()
+    emit(render(summary))
+    (output_dir / "BENCH_service.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True)
+    )
+    merge_into_root_report(summary)
+    assert summary["errors"] == 0
+    assert summary["server_exit_code"] == 0
+    # the duplicate/twin traffic must actually hit the canonical cache
+    assert summary["cache_hit_rate"] > 0.3
+    # hits never touch a worker, so they must be far faster than misses
+    if summary["hits"]["count"] and summary["misses"]["count"]:
+        assert summary["hits"]["p50_ms"] <= summary["misses"]["p50_ms"]
+
+
+if __name__ == "__main__":
+    result = run_service_bench()
+    print(render(result))
+    merge_into_root_report(result)
+    print(f"merged service section into {ROOT_REPORT}")

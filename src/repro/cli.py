@@ -19,13 +19,21 @@ Subcommands
     The routing performance suite (``repro.bench``): route the benchmark
     workloads, write ``BENCH_routing.json``, optionally compare against a
     baseline report and fail on regression (``--max-regression``).
+``serve``
+    Run the persistent routing daemon (``repro.service``): a warm worker
+    pool behind a Unix-domain socket, with a canonical-instance cache
+    and admission control.  Exits 0 on a clean SIGTERM/SIGINT drain.
+``submit``
+    Send one problem file to a running daemon and report the outcome
+    (or ``--health`` / ``--shutdown`` for service management).
 
 Exit codes
 ----------
 Structured errors map to distinct codes so scripts can react without
 parsing output: ``0`` success, ``1`` internal/verification failure,
 ``2`` bad input, ``3`` deadline hit (partial result), ``4`` infeasible
-(router exhausted every strategy).  Malformed input files produce a
+(router exhausted every strategy), ``6`` service overloaded (job shed at
+admission), ``7`` service unreachable.  Malformed input files produce a
 one-line ``error:`` diagnostic on stderr, never a traceback.
 """
 
@@ -241,10 +249,59 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ) from None
     report = verify_routing(problem, grid)
     metrics = layout_metrics(problem, grid)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "problem": problem.name,
+                    "errors": report.errors,
+                    "open_nets": report.open_nets,
+                    "waived_open": report.waived_open,
+                    "wire_cells": metrics.wire_cells,
+                    "via_count": metrics.via_count,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if report.ok else 1
     print(f"problem: {problem}")
     print(report.summary())
     print(f"wire cells: {metrics.wire_cells}  vias: {metrics.via_count}")
     return 0 if report.ok else 1
+
+
+def _info_payload(fmt: str, loaded) -> dict:
+    """Machine-readable ``info`` fields (also the daemon's description)."""
+    if fmt == "channel":
+        return {
+            "kind": "channel",
+            "name": loaded.name,
+            "columns": loaded.n_columns,
+            "nets": len(loaded.net_numbers()),
+            "density": loaded.density,
+            "vcg_cycle": loaded.has_vcg_cycle(),
+            "vcg_longest_chain": loaded.vcg_longest_path(),
+        }
+    if fmt == "switchbox":
+        return {
+            "kind": "switchbox",
+            "name": loaded.name,
+            "width": loaded.width,
+            "height": loaded.height,
+            "nets": len(loaded.net_numbers()),
+            "pins": loaded.pin_count,
+            "empty_columns": len(loaded.empty_columns()),
+        }
+    return {
+        "kind": "problem",
+        "name": loaded.name,
+        "width": loaded.width,
+        "height": loaded.height,
+        "nets": len(loaded.nets),
+        "pins": loaded.pin_count,
+    }
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -252,6 +309,10 @@ def cmd_info(args: argparse.Namespace) -> int:
     path = Path(args.file)
     fmt = _detect_format(path, args.format)
     loaded = _load(path, fmt)
+    if args.json:
+        print(json.dumps(_info_payload(fmt, loaded), indent=2,
+                         sort_keys=True))
+        return 0
     if fmt == "channel":
         print(f"channel {loaded.name}: {loaded.n_columns} columns, "
               f"{len(loaded.net_numbers())} nets")
@@ -408,6 +469,99 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if regression else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent routing daemon until drained."""
+    import asyncio
+
+    from repro.service import RoutingService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            socket_path=args.socket,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            default_deadline_s=args.deadline,
+            max_attempts=args.max_attempts,
+            cache_capacity=args.cache_size,
+            admission_factor=args.admission_factor,
+        )
+    except ValueError as exc:
+        raise InputError(str(exc)) from None
+    service = RoutingService(
+        config, on_event=lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    return asyncio.run(service.run())
+
+
+def _problem_payload_from_file(args: argparse.Namespace) -> dict:
+    """Load any problem file and lower it to the wire problem dict."""
+    path = Path(args.file)
+    fmt = _detect_format(path, args.format)
+    loaded = _load(path, fmt)
+    if fmt == "channel":
+        problem = loaded.to_problem(max(1, args.tracks or loaded.density))
+    elif fmt == "switchbox":
+        problem = loaded.to_problem()
+    else:
+        problem = loaded
+    return problem_io.problem_to_dict(problem)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Send one job (or a management op) to a running daemon."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.socket, timeout_s=args.timeout)
+    if args.health:
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+        return 0
+    if args.shutdown:
+        client.shutdown()
+        print("daemon is draining")
+        return 0
+    if not args.file:
+        raise InputError("submit needs a problem file "
+                         "(or --health/--shutdown)")
+    payload = _problem_payload_from_file(args)
+    response = client.submit(
+        payload,
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        no_cache=args.no_cache,
+    )
+    result = response["result"]
+    job = response["job"]
+    stats = result["stats"]
+    if args.output:
+        Path(args.output).write_text(json.dumps(result, indent=2))
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{result['router']} on {result['problem'].get('name')}: "
+            f"{result['status'].upper()}; "
+            f"{stats['routed_connections']}/{stats['connections']} "
+            f"connections"
+        )
+        print(
+            f"cache {job['cache']}  queue wait {job['queue_wait_s']:.3f}s  "
+            f"service {job['service_s']:.3f}s  "
+            f"expansions {stats['expansions']}"
+        )
+        if args.output:
+            print(f"wrote {args.output}")
+    if result["status"] == "complete":
+        return 0
+    if stats_timed_out(result):
+        return 3
+    return 4
+
+
+def stats_timed_out(result: dict) -> bool:
+    """Whether a wire result payload reports a deadline cut."""
+    return bool(result.get("stats", {}).get("timed_out"))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -485,12 +639,141 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="re-verify a routing result dump (JSON)"
     )
     verify.add_argument("file")
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout instead of prose",
+    )
     verify.set_defaults(func=cmd_verify)
 
     info = sub.add_parser("info", help="analyse a problem file")
     info.add_argument("file")
     info.add_argument("--format", choices=("channel", "switchbox", "problem"))
+    info.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable analysis on stdout instead of prose",
+    )
     info.set_defaults(func=cmd_info)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent routing daemon"
+    )
+    serve.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="unix-domain socket to listen on",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="warm worker processes / shards (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max admitted-but-unfinished jobs before shedding "
+        "(default: 16)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-job routing deadline; jobs may override per "
+        "submission (default: 30)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="engine escalation attempts per job (default: 2)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="canonical-instance cache entries, 0 disables (default: 128)",
+    )
+    serve.add_argument(
+        "--admission-factor",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="shed when estimated queue wait exceeds F x deadline "
+        "(default: 1.0)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send a problem to a running daemon"
+    )
+    submit.add_argument("file", nargs="?")
+    submit.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="daemon socket (see `repro serve`)",
+    )
+    submit.add_argument(
+        "--format", choices=("channel", "switchbox", "problem")
+    )
+    submit.add_argument(
+        "--tracks", type=int, help="channel track count (default: density)"
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-job routing deadline (default: the daemon's)",
+    )
+    submit.add_argument(
+        "--max-attempts",
+        type=int,
+        metavar="N",
+        help="engine escalation attempts (default: the daemon's)",
+    )
+    submit.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the canonical-instance cache for this job",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="client-side socket timeout (default: 120)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full wire response as JSON",
+    )
+    submit.add_argument(
+        "--output",
+        "-o",
+        metavar="FILE",
+        help="also write the result payload (repro verify understands it)",
+    )
+    submit.add_argument(
+        "--health",
+        action="store_true",
+        help="print the daemon's health JSON and exit",
+    )
+    submit.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the daemon to drain and exit",
+    )
+    submit.set_defaults(func=cmd_submit)
 
     bench = sub.add_parser(
         "bench", help="run the routing performance benchmark suite"

@@ -67,6 +67,10 @@ class RouteStats:
     phase_claims_s: float = 0.0
     timed_out: bool = False
     deadline_s: Optional[float] = None
+    #: Set by the service layer when this result was served from the
+    #: canonical-instance cache instead of being routed; the counters
+    #: above then describe the cached run, not new work.
+    cache_hit: bool = False
     attempt_log: List[Dict] = field(default_factory=list)
 
     #: The scalar fields serialized by :meth:`as_dict`.  An explicit
@@ -94,6 +98,7 @@ class RouteStats:
         "phase_claims_s",
         "timed_out",
         "deadline_s",
+        "cache_hit",
     )
 
     def as_dict(self) -> Dict[str, float]:

@@ -98,3 +98,29 @@ class EngineError(ReproError, RuntimeError):
 
     exit_code = 5
     kind = "engine"
+
+
+class ServiceOverloaded(ReproError):
+    """The routing service shed this job at admission time.
+
+    Raised (and returned over the wire as ``kind="overloaded"``) when the
+    daemon's queue depth times the estimated per-job cost exceeds the
+    job's deadline budget — the job would miss its deadline waiting, so
+    the service refuses it immediately instead of hanging.  ``context``
+    conventionally carries ``queue_depth``, ``estimated_wait_s`` and
+    ``deadline_s``.
+    """
+
+    exit_code = 6
+    kind = "overloaded"
+
+
+class ServiceUnavailable(ReproError):
+    """The routing service cannot be reached (or is draining).
+
+    Raised client-side when the daemon's socket does not answer, and
+    returned by a draining daemon that no longer admits new jobs.
+    """
+
+    exit_code = 7
+    kind = "unavailable"

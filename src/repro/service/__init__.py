@@ -1,0 +1,36 @@
+"""Routing as a service: the persistent engine daemon.
+
+The :class:`~repro.engine.supervisor.RoutingEngine` cascade already has
+the contract of a production backend — deadlines, retries, structured
+errors, graceful partial results.  This package wraps it in a long-lived
+local daemon so other flow stages can *call* the router instead of
+shelling out to a script:
+
+* :mod:`repro.service.protocol` — newline-delimited JSON over a Unix
+  domain socket (requests, responses, error envelopes);
+* :mod:`repro.service.cache` — the canonical-instance result cache
+  (content-hashed under translation / mirror / net relabeling via
+  :mod:`repro.netlist.canonical`);
+* :mod:`repro.service.workers` — a sharded pool of warm worker
+  processes that keeps problem builds hot across jobs;
+* :mod:`repro.service.server` — the asyncio front door: bounded job
+  queue, cost-model admission control (``SERVICE_OVERLOADED`` shedding),
+  per-job telemetry, graceful SIGTERM drain;
+* :mod:`repro.service.client` — the blocking client used by
+  ``repro submit`` and the load-generator benchmark.
+
+See ``docs/SERVICE.md`` for the protocol and semantics.
+"""
+
+from repro.service.cache import CanonicalCache
+from repro.service.client import ServiceClient
+from repro.service.server import RoutingService, ServiceConfig
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "CanonicalCache",
+    "RoutingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "WorkerPool",
+]

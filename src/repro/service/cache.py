@@ -1,0 +1,93 @@
+"""The canonical-instance result cache.
+
+Results are stored in *canonical space* (see
+:mod:`repro.netlist.canonical`): coordinates normalised under
+translation and axis mirror, nets relabeled ``n1..nk``.  A lookup for
+any isomorphic instance therefore hits the same entry, and the cached
+payload is re-rendered into the requesting instance's own coordinates
+and net names on the way out — the response verifies against the
+request exactly as a fresh routing would.
+
+Only ``status="complete"`` results are cached: a partial result is an
+artefact of one run's deadline, not a property of the instance.
+Eviction is plain LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.netlist.canonical import (
+    CanonicalForm,
+    payload_from_canonical,
+    payload_to_canonical,
+)
+
+
+class CanonicalCache:
+    """Bounded LRU of canonical result payloads, keyed by content digest.
+
+    Thread-safe: the server's asyncio loop and the worker-pool threads
+    may touch it concurrently.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def render(
+        self, form: CanonicalForm, problem_payload: dict
+    ) -> Optional[dict]:
+        """Serve the cached result for ``form``'s instance, or None.
+
+        On a hit the canonical payload is remapped into the instance's
+        coordinates/net names, its ``problem`` entry replaced by
+        ``problem_payload``, and ``stats.cache_hit`` set — the counters
+        still describe the run that originally produced the result.
+        """
+        with self._lock:
+            canonical = self._entries.get(form.digest)
+            if canonical is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(form.digest)
+            self.hits += 1
+        rendered = payload_from_canonical(canonical, form, problem_payload)
+        rendered["stats"]["cache_hit"] = True
+        return rendered
+
+    def store(self, form: CanonicalForm, payload: dict) -> bool:
+        """Cache a fresh result payload (concrete space of ``form``).
+
+        Returns True when stored; incomplete results are refused.
+        """
+        if self.capacity == 0 or payload.get("status") != "complete":
+            return False
+        canonical = payload_to_canonical(payload, form)
+        canonical["stats"]["cache_hit"] = False
+        with self._lock:
+            self._entries[form.digest] = canonical
+            self._entries.move_to_end(form.digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the health endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

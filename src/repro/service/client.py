@@ -1,0 +1,113 @@
+"""Blocking client for the routing daemon.
+
+Used by ``repro submit``, the daemon smoke tests and the load-generator
+benchmark.  One request per connection (mirroring the server); every
+transport failure — missing socket, refused connection, timeout, a
+server that died mid-response — surfaces as the structured
+:class:`~repro.errors.ServiceUnavailable` (exit code 7), and structured
+errors returned *by* the server are re-raised as their original
+:class:`~repro.errors.ReproError` subclasses, so callers handle local
+and remote failures through one exception hierarchy.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceUnavailable
+from repro.service import protocol
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.RoutingService` socket."""
+
+    def __init__(self, socket_path: str, timeout_s: float = 120.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw round trip; returns the response envelope verbatim."""
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.socket_path)
+                sock.sendall(protocol.encode(message))
+                sock.shutdown(socket.SHUT_WR)
+                line = self._read_line(sock)
+        except (OSError, socket.timeout) as exc:
+            raise ServiceUnavailable(
+                f"routing service at {self.socket_path} is unreachable: "
+                f"{exc}",
+                context={"socket": self.socket_path},
+            ) from None
+        try:
+            return protocol.decode(line)
+        except ValueError as exc:
+            raise ServiceUnavailable(
+                f"routing service returned garbage: {exc}",
+                context={"socket": self.socket_path},
+            ) from None
+
+    def _read_line(self, sock: socket.socket) -> bytes:
+        chunks = []
+        total = 0
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n"):
+                break
+            if total > protocol.MAX_LINE_BYTES:
+                raise OSError("response exceeds the protocol limit")
+        if not chunks:
+            raise OSError("connection closed before a response arrived")
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem_payload: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        no_cache: bool = False,
+    ) -> Dict[str, Any]:
+        """Submit one problem dict; returns the full success envelope.
+
+        The envelope carries ``result`` (a
+        :func:`repro.core.serialize.result_to_dict` payload) and ``job``
+        (queue wait, service time, cache status, shard).  Server-side
+        failures re-raise as structured errors.
+        """
+        options: Dict[str, Any] = {}
+        if deadline_s is not None:
+            options["deadline_s"] = deadline_s
+        if max_attempts is not None:
+            options["max_attempts"] = max_attempts
+        if no_cache:
+            options["no_cache"] = True
+        response = self.request(
+            {"op": "submit", "problem": problem_payload, "options": options}
+        )
+        return self._unwrap(response)
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health dict (see ``RoutingService.health``)."""
+        return self._unwrap(self.request({"op": "health"}))["health"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self._unwrap(self.request({"op": "shutdown"}))
+
+    @staticmethod
+    def _unwrap(response: Dict[str, Any]) -> Dict[str, Any]:
+        if response.get("ok"):
+            return response
+        raise protocol.error_from_payload(response.get("error"))

@@ -1,0 +1,432 @@
+"""The routing daemon: asyncio front door, admission control, drain.
+
+:class:`RoutingService` owns a Unix-domain listening socket, a
+:class:`~repro.service.workers.WorkerPool` of warm routing processes and
+a :class:`~repro.service.cache.CanonicalCache`.  One connection carries
+one request (see :mod:`repro.service.protocol`); submissions flow
+
+    parse -> canonicalize -> cache? -> admission control -> shard ->
+    warm worker -> verify/telemetry -> cache store -> respond
+
+**Admission control.**  The daemon keeps an EWMA cost model — seconds
+per ``cells x connections`` unit, updated from every executed job — and
+refuses a submission with the structured ``SERVICE_OVERLOADED`` error
+(exit code 6) when the work already queued ahead of it, divided across
+the workers, would eat the job's own deadline budget before it even
+started; a hard ``queue_limit`` on admitted-but-unfinished jobs bounds
+memory regardless of the model.  Shedding is instantaneous, so under
+overload clients get a clean structured refusal in milliseconds instead
+of a response that arrives after its deadline.
+
+**Drain.**  SIGTERM/SIGINT (or the in-band ``shutdown`` op) stop the
+listener, let every admitted job finish and answer, stop the worker
+pool, unlink the socket and return 0 — the documented clean-shutdown
+exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.errors import (
+    EngineError,
+    InputError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.netlist.canonical import CanonicalForm, canonical_form
+from repro.netlist.io import FormatError, problem_from_dict
+from repro.netlist.problem import ProblemError, RoutingProblem
+from repro.service import protocol
+from repro.service.cache import CanonicalCache
+from repro.service.workers import WorkerPool, make_executor
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one daemon instance.
+
+    Attributes
+    ----------
+    socket_path:
+        Unix-domain socket the daemon listens on (created on start,
+        unlinked on clean shutdown).
+    workers:
+        Warm worker processes (= shards).
+    queue_limit:
+        Hard cap on admitted-but-unfinished jobs; further submissions
+        are shed with ``SERVICE_OVERLOADED``.
+    default_deadline_s:
+        Per-job routing deadline applied when the submission carries
+        none (None = unlimited, which also disables the cost-model shed
+        for those jobs).
+    max_attempts:
+        Engine escalation attempts per job (see
+        :class:`~repro.engine.supervisor.EngineConfig`).
+    cache_capacity:
+        Canonical-instance cache entries (0 disables caching).
+    admission_factor:
+        Shed when ``estimated_wait > admission_factor * deadline``;
+        values above 1 admit optimistically, below 1 conservatively.
+    seed_cost_s:
+        Initial EWMA estimate of seconds per ``cells x connections``
+        unit, replaced by measurements as jobs complete.
+    drain_timeout_s:
+        Upper bound on waiting for in-flight jobs during shutdown.
+    """
+
+    socket_path: str
+    workers: int = 2
+    queue_limit: int = 16
+    default_deadline_s: Optional[float] = 30.0
+    max_attempts: int = 2
+    cache_capacity: int = 128
+    admission_factor: float = 1.0
+    seed_cost_s: float = 5e-6
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.default_deadline_s is not None and self.default_deadline_s < 0:
+            raise ValueError("default_deadline_s must be non-negative")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.admission_factor <= 0:
+            raise ValueError("admission_factor must be positive")
+
+
+def _cost_units(problem: RoutingProblem) -> float:
+    """Size proxy of the admission cost model: cells x connections."""
+    connections = sum(
+        max(0, net.pin_count - 1) for net in problem.nets
+    )
+    return float(problem.width * problem.height * max(1, connections))
+
+
+class RoutingService:
+    """One daemon instance; ``asyncio.run(service.run())`` serves it."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.config = config
+        self.cache = CanonicalCache(config.cache_capacity)
+        self._on_event = on_event
+        self._pool: Optional[WorkerPool] = None
+        self._threads = None
+        self._stop: Optional[asyncio.Event] = None
+        self._draining = False
+        self._active: Set[asyncio.Task] = set()
+        self._started = time.monotonic()
+        # All mutated on the event-loop thread only.
+        self._job_seq = 0
+        self._pending_jobs = 0
+        self._pending_cost_s = 0.0
+        self._cost_ewma_s = config.seed_cost_s
+        self._counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed": 0,
+            "cache_hits": 0,
+        }
+        self._expansions_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started = time.monotonic()
+        self._pool = WorkerPool(self.config.workers)
+        self._threads = make_executor(self.config.queue_limit + 4)
+        with contextlib.suppress(OSError):
+            os.unlink(self.config.socket_path)
+        server = await asyncio.start_unix_server(
+            self._handle_client,
+            path=self.config.socket_path,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._install_signal_handlers(loop)
+        self._event(f"serving on {self.config.socket_path}")
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            pending = [task for task in self._active if not task.done()]
+            if pending:
+                self._event(f"draining {len(pending)} in-flight jobs")
+                await asyncio.wait(
+                    pending, timeout=self.config.drain_timeout_s
+                )
+            self._pool.close()
+            self._threads.shutdown(wait=False)
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+            self._event("drained, exiting")
+        return 0
+
+    def begin_drain(self) -> None:
+        """Stop accepting work and shut down once in-flight jobs finish.
+
+        Safe to call repeatedly; must run on the event-loop thread
+        (signal handlers installed by :meth:`run` do).
+        """
+        self._draining = True
+        if self._stop is not None:
+            self._stop.set()
+
+    def _install_signal_handlers(self, loop) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (tests) or an exotic platform; the
+                # in-band shutdown op still drains.
+                return
+
+    def _event(self, line: str) -> None:
+        if self._on_event is not None:
+            self._on_event(line)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._active.add(task)
+        try:
+            response = await self._one_request(reader)
+            writer.write(protocol.encode(response))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            self._active.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _one_request(self, reader) -> dict:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            return protocol.error_response(
+                InputError(
+                    "request line exceeds the protocol limit",
+                    context={"limit_bytes": protocol.MAX_LINE_BYTES},
+                )
+            )
+        if not line:
+            return protocol.error_response(InputError("empty request"))
+        try:
+            message = protocol.decode(line)
+        except ValueError as exc:
+            return protocol.error_response(
+                InputError(f"malformed request: {exc}")
+            )
+        op = message.get("op")
+        try:
+            if op == "submit":
+                return await self._handle_submit(message)
+            if op == "health":
+                return protocol.ok_response(health=self.health())
+            if op == "shutdown":
+                self.begin_drain()
+                return protocol.ok_response(draining=True)
+            raise InputError(
+                f"unknown op {op!r}", context={"choices": list(protocol.OPS)}
+            )
+        except ReproError as exc:
+            return protocol.error_response(exc)
+        except Exception as exc:  # the daemon must never crash a client
+            return protocol.error_response(
+                EngineError(f"service crashed: {type(exc).__name__}: {exc}")
+            )
+
+    # ------------------------------------------------------------------
+    # Submission pipeline
+    # ------------------------------------------------------------------
+    async def _handle_submit(self, message: dict) -> dict:
+        received = time.perf_counter()
+        self._counters["submitted"] += 1
+        if self._draining:
+            raise ServiceUnavailable(
+                "service is draining", context={"draining": True}
+            )
+        payload = message.get("problem")
+        if not isinstance(payload, dict):
+            raise InputError("submit requires a problem object")
+        try:
+            problem = problem_from_dict(payload)
+        except (FormatError, ProblemError) as exc:
+            raise InputError(f"malformed problem payload: {exc}") from None
+        options = dict(message.get("options") or {})
+        deadline_s = options.get("deadline_s", self.config.default_deadline_s)
+        if deadline_s is not None and deadline_s < 0:
+            raise InputError("deadline_s must be non-negative")
+        form = canonical_form(problem)
+
+        if not options.get("no_cache"):
+            cached = self.cache.render(form, payload)
+            if cached is not None:
+                self._counters["cache_hits"] += 1
+                return protocol.ok_response(
+                    result=cached,
+                    job=self._job_telemetry(
+                        form,
+                        cache="hit",
+                        shard=None,
+                        queue_wait_s=0.0,
+                        service_s=time.perf_counter() - received,
+                    ),
+                )
+
+        estimated_cost_s, units = self._admit(problem, form, deadline_s)
+        job_id = self._job_seq = self._job_seq + 1
+        job = {
+            "job_id": job_id,
+            "digest": form.digest,
+            "problem": payload,
+            "options": {
+                "deadline_s": deadline_s,
+                "max_attempts": options.get(
+                    "max_attempts", self.config.max_attempts
+                ),
+            },
+        }
+        shard = self._pool.shard_for(form.digest)
+        self._pending_jobs += 1
+        self._pending_cost_s += estimated_cost_s
+        try:
+            loop = asyncio.get_running_loop()
+            reply = await loop.run_in_executor(
+                self._threads, self._pool.run, shard, job
+            )
+        finally:
+            self._pending_jobs -= 1
+            self._pending_cost_s = max(
+                0.0, self._pending_cost_s - estimated_cost_s
+            )
+        return self._finish_job(
+            form, reply, received, job_id, shard, estimated_cost_s, units,
+            cache_allowed=not options.get("no_cache"),
+        )
+
+    def _admit(
+        self,
+        problem: RoutingProblem,
+        form: CanonicalForm,
+        deadline_s: Optional[float],
+    ):
+        """Admission control; returns (estimated cost, units) or sheds."""
+        units = _cost_units(problem)
+        estimated_cost_s = self._cost_ewma_s * units
+        if self._pending_jobs >= self.config.queue_limit:
+            self._counters["shed"] += 1
+            raise ServiceOverloaded(
+                "job queue is full",
+                context={
+                    "queue_depth": self._pending_jobs,
+                    "queue_limit": self.config.queue_limit,
+                },
+            )
+        if deadline_s is not None:
+            estimated_wait_s = self._pending_cost_s / self.config.workers
+            if estimated_wait_s > self.config.admission_factor * deadline_s:
+                self._counters["shed"] += 1
+                raise ServiceOverloaded(
+                    "queued work exceeds the job's deadline budget",
+                    context={
+                        "queue_depth": self._pending_jobs,
+                        "estimated_wait_s": round(estimated_wait_s, 6),
+                        "estimated_cost_s": round(estimated_cost_s, 6),
+                        "deadline_s": deadline_s,
+                    },
+                )
+        return estimated_cost_s, units
+
+    def _finish_job(
+        self,
+        form: CanonicalForm,
+        reply: dict,
+        received: float,
+        job_id: int,
+        shard: int,
+        estimated_cost_s: float,
+        units: float,
+        cache_allowed: bool,
+    ) -> dict:
+        worker_wall_s = float(reply.get("worker_wall_s", 0.0))
+        if reply.get("ok") and worker_wall_s > 0 and units > 0:
+            self._cost_ewma_s = (
+                0.7 * self._cost_ewma_s + 0.3 * worker_wall_s / units
+            )
+        telemetry = self._job_telemetry(
+            form,
+            cache="bypass" if not cache_allowed else "miss",
+            shard=shard,
+            queue_wait_s=float(reply.get("queue_wait_s", 0.0)),
+            service_s=worker_wall_s,
+            job_id=job_id,
+            estimated_cost_s=estimated_cost_s,
+            warm_problem=bool(reply.get("warm_problem")),
+            total_s=time.perf_counter() - received,
+        )
+        if not reply.get("ok"):
+            self._counters["failed"] += 1
+            raise protocol.error_from_payload(reply.get("error"))
+        payload = reply["payload"]
+        self._counters["completed"] += 1
+        self._expansions_total += int(
+            payload.get("stats", {}).get("expansions", 0)
+        )
+        if cache_allowed:
+            self.cache.store(form, payload)
+        return protocol.ok_response(result=payload, job=telemetry)
+
+    def _job_telemetry(self, form: CanonicalForm, **fields) -> dict:
+        telemetry = {"digest": form.digest}
+        for key, value in fields.items():
+            if isinstance(value, float):
+                value = round(value, 6)
+            telemetry[key] = value
+        return telemetry
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Machine-readable self-description (the ``health`` op)."""
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "draining": self._draining,
+            "workers": self.config.workers,
+            "workers_alive": (
+                self._pool.alive() if self._pool is not None else []
+            ),
+            "queue_depth": self._pending_jobs,
+            "queue_limit": self.config.queue_limit,
+            "pending_cost_s": round(self._pending_cost_s, 6),
+            "cost_ewma_s": self._cost_ewma_s,
+            "default_deadline_s": self.config.default_deadline_s,
+            "jobs": dict(self._counters),
+            "cache": self.cache.stats(),
+            "expansions_total": self._expansions_total,
+        }

@@ -1,0 +1,198 @@
+"""The sharded pool of warm routing worker processes.
+
+Each worker is a long-lived process running a take-one loop over its own
+request queue — the same rebuild-at-the-worker discipline as
+``repro bench --workers`` (closures and live grids do not pickle, so
+jobs travel as JSON-compatible problem dicts and are rebuilt with
+:func:`repro.netlist.io.problem_from_dict` inside the worker).  Warmth
+is twofold: the process itself persists (imports, allocator pools and
+the maze arenas' neighbor tables stay hot instead of being re-created
+per job), and each worker keeps a small LRU of rebuilt
+:class:`~repro.netlist.problem.RoutingProblem` objects keyed by
+canonical digest, so a repeat instance skips parsing and validation.
+
+Jobs are **sharded by canonical digest**: isomorphic instances always
+land on the same worker, which is what makes the per-worker warm cache
+effective and keeps one pathological instance from thrashing every
+shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.errors import EngineError, ReproError
+
+#: Problems kept warm per worker (rebuilt RoutingProblem objects).
+WARM_PROBLEMS_PER_WORKER = 32
+
+
+def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
+    """Route one job dict; never raises (errors become envelopes)."""
+    from repro.core.serialize import result_to_dict
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.netlist.io import FormatError, problem_from_dict
+    from repro.netlist.problem import ProblemError
+
+    started = time.perf_counter()
+    digest = job.get("digest", "")
+    warm_hit = digest in warm
+    try:
+        if warm_hit:
+            problem = warm[digest]
+            warm.move_to_end(digest)
+        else:
+            try:
+                problem = problem_from_dict(job["problem"])
+            except (FormatError, ProblemError, KeyError, TypeError) as exc:
+                from repro.errors import InputError
+
+                raise InputError(
+                    f"malformed problem payload: {exc}"
+                ) from None
+            if digest:
+                warm[digest] = problem
+                while len(warm) > WARM_PROBLEMS_PER_WORKER:
+                    warm.popitem(last=False)
+        options = job.get("options") or {}
+        engine = RoutingEngine(
+            EngineConfig(
+                deadline_s=options.get("deadline_s"),
+                max_attempts=int(options.get("max_attempts", 2)),
+                enable_fallback=False,
+            )
+        )
+        result = engine.route(problem)
+        payload = result_to_dict(result)
+        payload["stats"]["cache_hit"] = False
+        return {
+            "ok": True,
+            "payload": payload,
+            "warm_problem": warm_hit,
+            "worker_wall_s": time.perf_counter() - started,
+        }
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "error": exc.to_dict(),
+            "warm_problem": warm_hit,
+            "worker_wall_s": time.perf_counter() - started,
+        }
+    except Exception as exc:  # supervised: a worker crash is telemetry
+        return {
+            "ok": False,
+            "error": EngineError(
+                f"worker crashed: {type(exc).__name__}: {exc}"
+            ).to_dict(),
+            "warm_problem": warm_hit,
+            "worker_wall_s": time.perf_counter() - started,
+        }
+
+
+def _worker_main(shard: int, requests, responses) -> None:
+    """Worker process entry point: drain jobs until the None sentinel."""
+    warm: "OrderedDict[str, object]" = OrderedDict()
+    while True:
+        job = requests.get()
+        if job is None:
+            break
+        reply = _execute_job(job, warm)
+        reply["job_id"] = job.get("job_id")
+        reply["shard"] = shard
+        responses.put(reply)
+
+
+class WorkerPool:
+    """N warm worker processes, one request/response queue pair each.
+
+    ``run(shard, job)`` is a blocking round trip intended to be called
+    from executor threads (the server wraps it in
+    ``loop.run_in_executor``).  A per-shard lock serialises access to
+    each worker, so the lock-wait *is* the shard's queue: the time spent
+    acquiring it is reported as ``queue_wait_s``.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.n_workers = n_workers
+        ctx = multiprocessing.get_context()
+        self._requests = [ctx.Queue() for _ in range(n_workers)]
+        self._responses = [ctx.Queue() for _ in range(n_workers)]
+        self._locks = [threading.Lock() for _ in range(n_workers)]
+        self._processes = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, self._requests[i], self._responses[i]),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._closed = False
+
+    def shard_for(self, digest: str) -> int:
+        """Stable shard assignment by canonical digest."""
+        if not digest:
+            return 0
+        return int(digest[:8], 16) % self.n_workers
+
+    def run(self, shard: int, job: Dict) -> Dict:
+        """Blocking round trip to one shard; returns the reply envelope.
+
+        The reply always carries ``queue_wait_s`` (time spent behind
+        earlier jobs of the same shard) next to the worker's own
+        ``worker_wall_s``.
+        """
+        if not 0 <= shard < self.n_workers:
+            raise ValueError(f"no such shard {shard}")
+        enqueued = time.perf_counter()
+        with self._locks[shard]:
+            queue_wait = time.perf_counter() - enqueued
+            if self._closed:
+                raise EngineError("worker pool is closed")
+            self._requests[shard].put(job)
+            reply = self._responses[shard].get()
+        reply["queue_wait_s"] = queue_wait
+        return reply
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop every worker: sentinel, join, terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._requests:
+            queue.put(None)
+        deadline = time.monotonic() + timeout_s
+        for process in self._processes:
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+
+    def alive(self) -> List[bool]:
+        """Liveness of each shard (health telemetry)."""
+        return [process.is_alive() for process in self._processes]
+
+
+def make_executor(n_slots: int) -> ThreadPoolExecutor:
+    """Thread pool sized so shard locks, not threads, do the queueing."""
+    return ThreadPoolExecutor(
+        max_workers=max(4, n_slots), thread_name_prefix="repro-svc"
+    )
+
+
+def pool_smoke(n_workers: int = 2) -> Optional[str]:
+    """Start and stop a pool; returns an error string or None (health)."""
+    try:
+        pool = WorkerPool(n_workers)
+        pool.close()
+        return None
+    except Exception as exc:  # pragma: no cover - environment-specific
+        return f"{type(exc).__name__}: {exc}"

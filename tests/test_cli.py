@@ -40,6 +40,30 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "6x5" in out
 
+    def test_channel_info_json(self, channel_file, capsys):
+        assert main(["info", str(channel_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "channel"
+        assert payload["density"] == 3
+        assert payload["vcg_cycle"] is False
+
+    def test_switchbox_info_json(self, switchbox_file, capsys):
+        assert main(["info", str(switchbox_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "switchbox"
+        assert (payload["width"], payload["height"]) == (6, 5)
+        assert payload["nets"] > 0
+
+    def test_problem_info_json(self, tmp_path, capsys):
+        path = tmp_path / "problem.json"
+        path.write_text(json.dumps(
+            problem_to_dict(obstacle_region_problem())
+        ))
+        assert main(["info", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "problem"
+        assert payload["pins"] > 0
+
 
 class TestRoute:
     def test_route_switchbox(self, switchbox_file, capsys):
@@ -105,6 +129,33 @@ class TestSweepAndImprove:
         assert main(["verify", str(dump)]) == 0
         out = capsys.readouterr().out
         assert "VERIFIED" in out
+
+    def test_verify_json(self, tmp_path, capsys):
+        from repro.core import route_problem
+        from repro.core.serialize import save_result
+
+        result = route_problem(small_switchbox().to_problem())
+        dump = tmp_path / "result.json"
+        save_result(dump, result)
+        assert main(["verify", str(dump), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == []
+        assert payload["wire_cells"] > 0
+
+    def test_verify_json_reports_failures(self, tmp_path, capsys):
+        from repro.core import route_problem
+        from repro.core.serialize import result_to_dict
+
+        result = route_problem(small_switchbox().to_problem())
+        payload = result_to_dict(result)
+        payload["connections"] = []  # drop all copper: every net is open
+        dump = tmp_path / "broken.json"
+        dump.write_text(json.dumps(payload))
+        assert main(["verify", str(dump), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["open_nets"]
 
 
 class TestStructuredErrors:

@@ -1,0 +1,358 @@
+"""Tests for the routing daemon: protocol, cache, admission, drain.
+
+Most tests run the service in-process (the asyncio server on a
+background thread, real worker processes behind it) and talk to it
+through :class:`~repro.service.client.ServiceClient` — the same path
+``repro submit`` uses.  The SIGTERM test runs the real
+``python -m repro serve`` subprocess, mirroring the CI smoke job.
+"""
+
+import asyncio
+import contextlib
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.verify import verify_routing
+from repro.core.serialize import rebuild_grid
+from repro.errors import (
+    InputError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.netlist.generators import woven_switchbox
+from repro.netlist.instances import small_switchbox
+from repro.netlist.io import problem_from_dict, problem_to_dict
+from repro.service import (
+    CanonicalCache,
+    RoutingService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service import protocol
+
+
+def box_payload():
+    return problem_to_dict(small_switchbox().to_problem())
+
+
+@contextlib.contextmanager
+def running_service(**overrides):
+    """A live daemon on a private socket; drains on exit."""
+    socket_dir = tempfile.mkdtemp(prefix="repro-svc-")
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("socket_path", os.path.join(socket_dir, "d.sock"))
+    config = ServiceConfig(**overrides)
+    service = RoutingService(config)
+    outcome = {}
+
+    def runner():
+        outcome["exit_code"] = asyncio.run(service.run())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    client = ServiceClient(config.socket_path, timeout_s=120.0)
+    for _ in range(200):
+        try:
+            client.health()
+            break
+        except ServiceUnavailable:
+            time.sleep(0.05)
+    else:
+        raise RuntimeError("service did not come up")
+    try:
+        yield service, client, outcome
+    finally:
+        with contextlib.suppress(ReproError):
+            client.shutdown()
+        thread.join(60)
+        assert not thread.is_alive(), "service failed to drain"
+
+
+class TestSubmitRoundTrip:
+    def test_complete_result_with_telemetry(self):
+        with running_service() as (_, client, _outcome):
+            response = client.submit(box_payload())
+            result = response["result"]
+            job = response["job"]
+            assert result["status"] == "complete"
+            assert result["success"] is True
+            assert result["stats"]["cache_hit"] is False
+            assert job["cache"] == "miss"
+            assert job["queue_wait_s"] >= 0
+            assert job["service_s"] > 0
+            assert isinstance(job["shard"], int)
+            # the payload verifies exactly like a local route dump
+            grid = rebuild_grid(result)
+            problem = problem_from_dict(result["problem"])
+            assert verify_routing(problem, grid).ok
+
+    def test_malformed_problem_is_a_structured_input_error(self):
+        with running_service() as (_, client, _outcome):
+            with pytest.raises(InputError):
+                client.submit({"width": 4})  # missing everything else
+            # the daemon survives the bad request
+            assert client.health()["workers_alive"] == [True]
+
+    def test_unknown_op_rejected(self):
+        with running_service() as (_, client, _outcome):
+            response = client.request({"op": "frobnicate"})
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "input"
+
+    def test_unreachable_socket_raises_unavailable(self):
+        client = ServiceClient("/nonexistent/never.sock", timeout_s=1.0)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.health()
+        assert excinfo.value.exit_code == 7
+
+
+class TestCanonicalCache:
+    def test_identical_resubmission_hits_with_no_new_work(self):
+        with running_service() as (service, client, _outcome):
+            first = client.submit(box_payload())
+            assert first["job"]["cache"] == "miss"
+            executed = service.health()["expansions_total"]
+            assert executed > 0
+            second = client.submit(box_payload())
+            assert second["job"]["cache"] == "hit"
+            assert second["result"]["stats"]["cache_hit"] is True
+            # no new search work was done to serve the hit
+            assert service.health()["expansions_total"] == executed
+            assert service.health()["jobs"]["cache_hits"] == 1
+
+    def test_isomorphic_instance_hits_and_verifies(self):
+        spec = small_switchbox()
+        problem = spec.to_problem()
+        mirrored_nets = [
+            {
+                "name": f"m-{net['name']}",
+                "pins": [
+                    [problem.width - 1 - x, y, layer]
+                    for x, y, layer in net["pins"]
+                ],
+            }
+            for net in reversed(problem_to_dict(problem)["nets"])
+        ]
+        isomorph = {
+            "name": "mirrored-twin",
+            "width": problem.width,
+            "height": problem.height,
+            "nets": mirrored_nets,
+            "obstacles": [],
+        }
+        with running_service() as (_, client, _outcome):
+            client.submit(problem_to_dict(problem))
+            response = client.submit(isomorph)
+            assert response["job"]["cache"] == "hit"
+            result = response["result"]
+            assert result["stats"]["cache_hit"] is True
+            # rendered in the twin's own names and coordinates
+            assert result["problem"]["name"] == "mirrored-twin"
+            names = {entry["net"] for entry in result["connections"]}
+            assert names <= {net["name"] for net in mirrored_nets}
+            grid = rebuild_grid(result)
+            assert verify_routing(problem_from_dict(isomorph), grid).ok
+
+    def test_no_cache_bypasses_both_ways(self):
+        with running_service() as (_, client, _outcome):
+            client.submit(box_payload(), no_cache=True)
+            response = client.submit(box_payload())
+            # the bypassed run was not stored, so this one is a miss
+            assert response["job"]["cache"] == "miss"
+
+    def test_cache_store_refuses_partials(self):
+        from repro.netlist.canonical import canonical_form
+
+        cache = CanonicalCache(capacity=4)
+        problem = small_switchbox().to_problem()
+        form = canonical_form(problem)
+        assert not cache.store(form, {"status": "partial", "stats": {}})
+        assert cache.render(form, problem_to_dict(problem)) is None
+
+    def test_lru_eviction(self):
+        from repro.netlist.canonical import canonical_form
+
+        cache = CanonicalCache(capacity=1)
+        p1 = small_switchbox().to_problem()
+        p2 = woven_switchbox(10, 8, 6, seed=2, tangle=0.2).to_problem()
+        payload = {
+            "status": "complete",
+            "stats": {},
+            "connections": [],
+            "events": [],
+            "problem": {},
+        }
+        cache.store(canonical_form(p1), dict(payload))
+        cache.store(canonical_form(p2), dict(payload))
+        assert len(cache) == 1
+        assert cache.render(
+            canonical_form(p1), problem_to_dict(p1)
+        ) is None
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_structured_error(self):
+        # One worker, queue depth 2: six simultaneous distinct jobs must
+        # shed at least one with the structured overload error instead
+        # of queueing past their deadlines.
+        payloads = [
+            problem_to_dict(
+                woven_switchbox(18, 12, 14, seed=s, tangle=0.4).to_problem()
+            )
+            for s in range(20, 26)
+        ]
+        with running_service(workers=1, queue_limit=2) as (
+            _service, client, _outcome,
+        ):
+            def submit(payload):
+                try:
+                    return client.submit(payload)
+                except ReproError as exc:
+                    return exc
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                outcomes = list(pool.map(submit, payloads))
+            shed = [o for o in outcomes if isinstance(o, ServiceOverloaded)]
+            served = [o for o in outcomes if isinstance(o, dict)]
+            assert shed, "no job was shed at queue_limit=2"
+            assert served, "every job was shed"
+            for error in shed:
+                assert error.exit_code == 6
+                assert error.to_dict()["kind"] == "overloaded"
+                assert "queue" in str(error)
+            health = client.health()
+            assert health["jobs"]["shed"] == len(shed)
+
+    def test_cost_model_shed_reports_estimated_wait(self, tmp_path):
+        # Deterministic unit check of the cost-model branch: with 100 s
+        # of estimated work already queued, a 1 s-deadline job is shed
+        # before it ever reaches a worker — and the error says why.
+        from repro.netlist.canonical import canonical_form
+
+        service = RoutingService(
+            ServiceConfig(socket_path=str(tmp_path / "x.sock"), workers=1)
+        )
+        problem = small_switchbox().to_problem()
+        form = canonical_form(problem)
+        service._pending_cost_s = 100.0
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            service._admit(problem, form, deadline_s=1.0)
+        assert excinfo.value.exit_code == 6
+        assert excinfo.value.context["estimated_wait_s"] == 100.0
+        assert excinfo.value.context["deadline_s"] == 1.0
+        assert service.health()["jobs"]["shed"] == 1
+        # a job with no deadline cannot be shed by the cost model
+        cost, units = service._admit(problem, form, None)
+        assert cost > 0 and units > 0
+
+    def test_health_reports_cost_model(self):
+        with running_service() as (_, client, _outcome):
+            client.submit(box_payload())
+            health = client.health()
+            assert health["cost_ewma_s"] > 0
+            assert health["queue_depth"] == 0
+            assert health["jobs"]["completed"] == 1
+
+
+class TestDrain:
+    def test_shutdown_op_drains_cleanly(self):
+        with running_service() as (_, client, outcome):
+            client.submit(box_payload())
+            client.shutdown()
+            for _ in range(100):
+                if "exit_code" in outcome:
+                    break
+                time.sleep(0.05)
+            assert outcome.get("exit_code") == 0
+
+    def test_socket_removed_after_drain(self):
+        with running_service() as (service, client, outcome):
+            path = service.config.socket_path
+            client.shutdown()
+            for _ in range(100):
+                if "exit_code" in outcome:
+                    break
+                time.sleep(0.05)
+        assert not os.path.exists(path)
+
+
+@pytest.mark.slow
+class TestSigtermSubprocess:
+    def test_sigterm_drains_with_exit_zero(self, tmp_path):
+        """The CI smoke sequence: serve, submit twice, SIGTERM, exit 0."""
+        socket_path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-sig-"), "d.sock"
+        )
+        box = tmp_path / "box.json"
+        import json
+
+        box.write_text(json.dumps(box_payload()))
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path, "--workers", "1"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            for _ in range(200):
+                if os.path.exists(socket_path):
+                    break
+                time.sleep(0.05)
+            submit = [sys.executable, "-m", "repro", "submit", str(box),
+                      "--socket", socket_path, "--json"]
+            first = subprocess.run(
+                submit, env=env, capture_output=True, text=True, timeout=120
+            )
+            assert first.returncode == 0, first.stderr
+            second = subprocess.run(
+                submit, env=env, capture_output=True, text=True, timeout=120
+            )
+            assert second.returncode == 0, second.stderr
+            response = json.loads(second.stdout)
+            assert response["job"]["cache"] == "hit"
+            assert response["result"]["stats"]["cache_hit"] is True
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=60) == 0
+            assert not os.path.exists(socket_path)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(10)
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "submit", "problem": {"a": 1}}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            protocol.decode(b"[1,2,3]\n")
+
+    def test_error_rehydration_preserves_class_and_context(self):
+        original = ServiceOverloaded(
+            "queue full", context={"queue_depth": 9}
+        )
+        wire = protocol.error_response(original)["error"]
+        back = protocol.error_from_payload(wire)
+        assert isinstance(back, ServiceOverloaded)
+        assert back.exit_code == 6
+        assert back.context == {"queue_depth": 9}
+
+    def test_unknown_error_code_degrades_to_engine_error(self):
+        from repro.errors import EngineError
+
+        back = protocol.error_from_payload({"exit_code": 99, "message": "?"})
+        assert isinstance(back, EngineError)
