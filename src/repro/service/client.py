@@ -30,7 +30,12 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """One raw round trip; returns the response envelope verbatim."""
+        """One raw round trip; returns the response envelope verbatim.
+
+        Stamps the protocol version (unless the caller set one) so the
+        server's compatibility check sees what this client speaks.
+        """
+        message.setdefault("version", protocol.PROTOCOL_VERSION)
         try:
             with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
                 sock.settimeout(self.timeout_s)

@@ -1,7 +1,10 @@
 """Wire protocol of the routing daemon.
 
 One request per connection, newline-delimited JSON both ways (a single
-line each).  Requests are ``{"op": ..., ...}``; the operations are:
+line each).  Requests are ``{"op": ..., "version": 1, ...}`` — a
+declared ``version`` other than :data:`PROTOCOL_VERSION` is rejected
+with a structured input error, an absent one is accepted; the
+operations are:
 
 ``submit``
     ``{"op": "submit", "problem": <problem dict>, "options": {...}}``
@@ -31,7 +34,10 @@ from typing import Any, Dict, Optional
 
 from repro.errors import EngineError, ReproError
 
-#: Protocol revision; servers reject requests from a different major.
+#: Protocol revision.  Clients stamp every request with ``version`` and
+#: servers reject a request that declares a different one (a request
+#: with no ``version`` field is accepted, so hand-rolled clients keep
+#: working); every response carries the server's version.
 PROTOCOL_VERSION = 1
 
 #: Hard cap on one request/response line (a malicious or corrupt client

@@ -150,14 +150,18 @@ class RoutingService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def run(self) -> int:
-        """Serve until drained; returns the process exit code (0)."""
+        """Serve until drained; returns the process exit code (0).
+
+        Refuses to start (structured :class:`~repro.errors.InputError`)
+        when another daemon is already serving ``socket_path``; a
+        genuinely stale socket file is removed.
+        """
         loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self._started = time.monotonic()
+        await self._claim_socket()
         self._pool = WorkerPool(self.config.workers)
         self._threads = make_executor(self.config.queue_limit + 4)
-        with contextlib.suppress(OSError):
-            os.unlink(self.config.socket_path)
         server = await asyncio.start_unix_server(
             self._handle_client,
             path=self.config.socket_path,
@@ -181,6 +185,31 @@ class RoutingService:
                 os.unlink(self.config.socket_path)
             self._event("drained, exiting")
         return 0
+
+    async def _claim_socket(self) -> None:
+        """Unlink ``socket_path`` only if nothing is serving it.
+
+        Blindly unlinking would silently yank a live daemon's socket out
+        from under it; instead probe with a connection and refuse to
+        start when something answers.
+        """
+        path = self.config.socket_path
+        if not os.path.exists(path):
+            return
+        try:
+            _reader, writer = await asyncio.open_unix_connection(path)
+        except OSError:
+            # Nothing listening: a stale socket left by a crash.
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            return
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+        raise InputError(
+            f"socket {path} is already served by a live daemon",
+            context={"socket": path},
+        )
 
     def begin_drain(self) -> None:
         """Stop accepting work and shut down once in-flight jobs finish.
@@ -243,6 +272,12 @@ class RoutingService:
             )
         op = message.get("op")
         try:
+            version = message.get("version")
+            if version is not None and version != protocol.PROTOCOL_VERSION:
+                raise InputError(
+                    f"unsupported protocol version {version!r}",
+                    context={"server_version": protocol.PROTOCOL_VERSION},
+                )
             if op == "submit":
                 return await self._handle_submit(message)
             if op == "health":
@@ -281,10 +316,20 @@ class RoutingService:
         deadline_s = options.get("deadline_s", self.config.default_deadline_s)
         if deadline_s is not None and deadline_s < 0:
             raise InputError("deadline_s must be non-negative")
-        form = canonical_form(problem)
+        # Canonicalization and cache render/store re-encode or deep-copy
+        # the whole problem/result payload; on the event-loop thread a
+        # large submission would stall health checks and the instant
+        # shed, so they run on the executor (which always keeps threads
+        # free beyond the admission-capped pool.run slots).
+        loop = asyncio.get_running_loop()
+        form = await loop.run_in_executor(
+            self._threads, canonical_form, problem
+        )
 
         if not options.get("no_cache"):
-            cached = self.cache.render(form, payload)
+            cached = await loop.run_in_executor(
+                self._threads, self.cache.render, form, payload
+            )
             if cached is not None:
                 self._counters["cache_hits"] += 1
                 return protocol.ok_response(
@@ -315,7 +360,6 @@ class RoutingService:
         self._pending_jobs += 1
         self._pending_cost_s += estimated_cost_s
         try:
-            loop = asyncio.get_running_loop()
             reply = await loop.run_in_executor(
                 self._threads, self._pool.run, shard, job
             )
@@ -324,10 +368,16 @@ class RoutingService:
             self._pending_cost_s = max(
                 0.0, self._pending_cost_s - estimated_cost_s
             )
-        return self._finish_job(
+        cache_allowed = not options.get("no_cache")
+        response = self._finish_job(
             form, reply, received, job_id, shard, estimated_cost_s, units,
-            cache_allowed=not options.get("no_cache"),
+            cache_allowed=cache_allowed,
         )
+        if cache_allowed:  # store off-loop too (deep-copies the payload)
+            await loop.run_in_executor(
+                self._threads, self.cache.store, form, reply["payload"]
+            )
+        return response
 
     def _admit(
         self,
@@ -397,8 +447,6 @@ class RoutingService:
         self._expansions_total += int(
             payload.get("stats", {}).get("expansions", 0)
         )
-        if cache_allowed:
-            self.cache.store(form, payload)
         return protocol.ok_response(result=payload, job=telemetry)
 
     def _job_telemetry(self, form: CanonicalForm, **fields) -> dict:

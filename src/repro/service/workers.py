@@ -8,8 +8,11 @@ jobs travel as JSON-compatible problem dicts and are rebuilt with
 is twofold: the process itself persists (imports, allocator pools and
 the maze arenas' neighbor tables stay hot instead of being re-created
 per job), and each worker keeps a small LRU of rebuilt
-:class:`~repro.netlist.problem.RoutingProblem` objects keyed by
-canonical digest, so a repeat instance skips parsing and validation.
+:class:`~repro.netlist.problem.RoutingProblem` objects keyed by a hash
+of the **concrete problem payload**, so an exact repeat skips parsing
+and validation.  The canonical digest must not be the warm key: it
+names a whole isomorphism class, and reusing the first-seen member for
+a mirrored/translated/renamed twin would route the wrong instance.
 
 Jobs are **sharded by canonical digest**: isomorphic instances always
 land on the same worker, which is what makes the per-worker warm cache
@@ -19,7 +22,10 @@ shard.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
+import queue as queue_module
 import threading
 import time
 from collections import OrderedDict
@@ -31,6 +37,25 @@ from repro.errors import EngineError, ReproError
 #: Problems kept warm per worker (rebuilt RoutingProblem objects).
 WARM_PROBLEMS_PER_WORKER = 32
 
+#: How often a blocked round trip re-checks that its worker is alive.
+LIVENESS_POLL_S = 1.0
+
+
+def _warm_key(problem_payload: object) -> str:
+    """Identity of one *concrete* problem payload.
+
+    Distinct from the canonical digest on purpose: the digest names an
+    isomorphism class, and two members of the class (which shard
+    together) must not share a rebuilt problem object.
+    """
+    try:
+        encoded = json.dumps(
+            problem_payload, sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError):
+        return ""  # unhashable payload: skip warmth, never mis-serve
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
 
 def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
     """Route one job dict; never raises (errors become envelopes)."""
@@ -40,12 +65,12 @@ def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
     from repro.netlist.problem import ProblemError
 
     started = time.perf_counter()
-    digest = job.get("digest", "")
-    warm_hit = digest in warm
+    key = _warm_key(job.get("problem"))
+    warm_hit = bool(key) and key in warm
     try:
         if warm_hit:
-            problem = warm[digest]
-            warm.move_to_end(digest)
+            problem = warm[key]
+            warm.move_to_end(key)
         else:
             try:
                 problem = problem_from_dict(job["problem"])
@@ -55,8 +80,8 @@ def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
                 raise InputError(
                     f"malformed problem payload: {exc}"
                 ) from None
-            if digest:
-                warm[digest] = problem
+            if key:
+                warm[key] = problem
                 while len(warm) > WARM_PROBLEMS_PER_WORKER:
                     warm.popitem(last=False)
         options = job.get("options") or {}
@@ -148,7 +173,10 @@ class WorkerPool:
 
         The reply always carries ``queue_wait_s`` (time spent behind
         earlier jobs of the same shard) next to the worker's own
-        ``worker_wall_s``.
+        ``worker_wall_s``.  A worker that dies mid-job surfaces as a
+        structured :class:`~repro.errors.EngineError` (after the shard
+        is respawned) instead of blocking this job — and every later
+        job of the shard — forever.
         """
         if not 0 <= shard < self.n_workers:
             raise ValueError(f"no such shard {shard}")
@@ -158,9 +186,58 @@ class WorkerPool:
             if self._closed:
                 raise EngineError("worker pool is closed")
             self._requests[shard].put(job)
-            reply = self._responses[shard].get()
+            reply = self._await_reply(shard)
         reply["queue_wait_s"] = queue_wait
         return reply
+
+    def _await_reply(self, shard: int) -> Dict:
+        """Wait on one shard's response queue, watching its liveness.
+
+        Caller holds the shard lock.
+        """
+        while True:
+            try:
+                return self._responses[shard].get(timeout=LIVENESS_POLL_S)
+            except queue_module.Empty:
+                process = self._processes[shard]
+                if process.is_alive():
+                    continue
+                # The worker may have replied in the instant before it
+                # died; drain that reply rather than losing it.
+                try:
+                    return self._responses[shard].get_nowait()
+                except queue_module.Empty:
+                    pass
+                exitcode = process.exitcode
+                self._respawn(shard)
+                raise EngineError(
+                    f"worker shard {shard} died mid-job",
+                    context={
+                        "shard": shard,
+                        "exitcode": exitcode,
+                        "respawned": not self._closed,
+                    },
+                )
+
+    def _respawn(self, shard: int) -> None:
+        """Replace a dead worker with a fresh process and fresh queues.
+
+        Fresh queues, because the old ones may hold the stale job the
+        dead worker never answered (or a torn put from its final
+        moments).  Caller holds the shard lock.  No-op once closed.
+        """
+        if self._closed:
+            return
+        ctx = multiprocessing.get_context()
+        self._requests[shard] = ctx.Queue()
+        self._responses[shard] = ctx.Queue()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(shard, self._requests[shard], self._responses[shard]),
+            daemon=True,
+        )
+        process.start()
+        self._processes[shard] = process
 
     def close(self, timeout_s: float = 5.0) -> None:
         """Stop every worker: sentinel, join, terminate stragglers."""

@@ -24,6 +24,7 @@ import pytest
 from repro.analysis.verify import verify_routing
 from repro.core.serialize import rebuild_grid
 from repro.errors import (
+    EngineError,
     InputError,
     ReproError,
     ServiceOverloaded,
@@ -43,6 +44,34 @@ from repro.service import protocol
 
 def box_payload():
     return problem_to_dict(small_switchbox().to_problem())
+
+
+def mirrored_twin():
+    """(original payload, isomorphic twin payload) for small_switchbox.
+
+    The twin is flipped left-for-right with its nets renamed and listed
+    in reverse order — same canonical digest, different concrete
+    instance.
+    """
+    problem = small_switchbox().to_problem()
+    nets = [
+        {
+            "name": f"m-{net['name']}",
+            "pins": [
+                [problem.width - 1 - x, y, layer]
+                for x, y, layer in net["pins"]
+            ],
+        }
+        for net in reversed(problem_to_dict(problem)["nets"])
+    ]
+    twin = {
+        "name": "mirrored-twin",
+        "width": problem.width,
+        "height": problem.height,
+        "nets": nets,
+        "obstacles": [],
+    }
+    return problem_to_dict(problem), twin
 
 
 @contextlib.contextmanager
@@ -131,27 +160,9 @@ class TestCanonicalCache:
             assert service.health()["jobs"]["cache_hits"] == 1
 
     def test_isomorphic_instance_hits_and_verifies(self):
-        spec = small_switchbox()
-        problem = spec.to_problem()
-        mirrored_nets = [
-            {
-                "name": f"m-{net['name']}",
-                "pins": [
-                    [problem.width - 1 - x, y, layer]
-                    for x, y, layer in net["pins"]
-                ],
-            }
-            for net in reversed(problem_to_dict(problem)["nets"])
-        ]
-        isomorph = {
-            "name": "mirrored-twin",
-            "width": problem.width,
-            "height": problem.height,
-            "nets": mirrored_nets,
-            "obstacles": [],
-        }
+        original, isomorph = mirrored_twin()
         with running_service() as (_, client, _outcome):
-            client.submit(problem_to_dict(problem))
+            client.submit(original)
             response = client.submit(isomorph)
             assert response["job"]["cache"] == "hit"
             result = response["result"]
@@ -159,9 +170,37 @@ class TestCanonicalCache:
             # rendered in the twin's own names and coordinates
             assert result["problem"]["name"] == "mirrored-twin"
             names = {entry["net"] for entry in result["connections"]}
-            assert names <= {net["name"] for net in mirrored_nets}
+            assert names <= {net["name"] for net in isomorph["nets"]}
             grid = rebuild_grid(result)
             assert verify_routing(problem_from_dict(isomorph), grid).ok
+
+    def test_warm_worker_routes_the_twin_not_its_sibling(self):
+        # Regression: the warm problem LRU was keyed by canonical
+        # digest, which names the whole isomorphism class — and twins
+        # always shard together — so whenever the result cache did not
+        # intercept (here: no_cache), the worker routed the first-seen
+        # sibling and answered with its problem dict, coordinates and
+        # net names.
+        original, isomorph = mirrored_twin()
+        with running_service() as (_, client, _outcome):
+            client.submit(original)  # warms the shard with the original
+            response = client.submit(isomorph, no_cache=True)
+            assert response["job"]["cache"] == "bypass"
+            result = response["result"]
+            assert result["stats"]["cache_hit"] is False
+            # the answer is the twin's own instance, freshly routed
+            assert result["problem"]["name"] == "mirrored-twin"
+            names = {entry["net"] for entry in result["connections"]}
+            assert names <= {net["name"] for net in isomorph["nets"]}
+            grid = rebuild_grid(result)
+            assert verify_routing(problem_from_dict(isomorph), grid).ok
+
+    def test_exact_repeat_reuses_the_warm_problem(self):
+        with running_service() as (_, client, _outcome):
+            first = client.submit(box_payload(), no_cache=True)
+            assert first["job"]["warm_problem"] is False
+            second = client.submit(box_payload(), no_cache=True)
+            assert second["job"]["warm_problem"] is True
 
     def test_no_cache_bypasses_both_ways(self):
         with running_service() as (_, client, _outcome):
@@ -264,6 +303,56 @@ class TestAdmissionControl:
             assert health["jobs"]["completed"] == 1
 
 
+class TestWorkerLiveness:
+    def test_dead_worker_raises_structured_error_and_respawns(self):
+        from repro.service.workers import WorkerPool
+
+        pool = WorkerPool(1)
+        try:
+            pool._processes[0].terminate()
+            pool._processes[0].join(10)
+            with pytest.raises(EngineError) as excinfo:
+                pool.run(0, {"job_id": 1, "problem": box_payload()})
+            assert excinfo.value.context["shard"] == 0
+            assert excinfo.value.context["respawned"] is True
+            # the respawned shard serves the next job
+            assert pool.alive() == [True]
+            reply = pool.run(0, {"job_id": 2, "problem": box_payload()})
+            assert reply["ok"] is True
+        finally:
+            pool.close()
+
+
+class TestSocketSafety:
+    def test_refuses_to_clobber_a_live_daemon(self):
+        with running_service() as (service, client, _outcome):
+            rival = RoutingService(
+                ServiceConfig(
+                    socket_path=service.config.socket_path, workers=1
+                )
+            )
+            with pytest.raises(InputError) as excinfo:
+                asyncio.run(rival.run())
+            assert "live daemon" in str(excinfo.value)
+            # the incumbent kept its socket and keeps serving
+            assert client.health()["workers_alive"] == [True]
+
+    def test_stale_socket_file_is_cleaned_up(self):
+        import socket as socket_module
+
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-stale-"), "stale.sock"
+        )
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        probe.bind(path)
+        probe.close()  # the file outlives the (never-listening) socket
+        assert os.path.exists(path)
+        with running_service(socket_path=path) as (_, client, _outcome):
+            assert client.health()["workers_alive"] == [True]
+
+
 class TestDrain:
     def test_shutdown_op_drains_cleanly(self):
         with running_service() as (_, client, outcome):
@@ -352,7 +441,31 @@ class TestProtocol:
         assert back.context == {"queue_depth": 9}
 
     def test_unknown_error_code_degrades_to_engine_error(self):
-        from repro.errors import EngineError
-
         back = protocol.error_from_payload({"exit_code": 99, "message": "?"})
         assert isinstance(back, EngineError)
+
+    def test_version_mismatch_rejected(self):
+        with running_service() as (_, client, _outcome):
+            # request() only stamps a version when the caller set none
+            response = client.request({"op": "health", "version": 999})
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "input"
+            assert "version" in response["error"]["message"]
+            # the client's own (current) stamp is accepted
+            assert client.health()["workers_alive"] == [True]
+
+    def test_versionless_request_accepted(self):
+        with running_service() as (service, _client, _outcome):
+            import socket as socket_module
+
+            with socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            ) as sock:
+                sock.settimeout(30.0)
+                sock.connect(service.config.socket_path)
+                sock.sendall(b'{"op":"health"}\n')
+                sock.shutdown(socket_module.SHUT_WR)
+                line = sock.makefile("rb").readline()
+            response = protocol.decode(line)
+            assert response["ok"] is True
+            assert response["version"] == protocol.PROTOCOL_VERSION
