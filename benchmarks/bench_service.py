@@ -8,9 +8,12 @@ some repeats verbatim, some as mirrored / net-relabeled twins — so the
 canonical-instance cache sees realistic hit traffic.
 
 Reports throughput (jobs/sec) and the client-observed latency
-distribution (p50 / p99), split into cache hits and misses, and merges a
-``service`` section into the repo-root ``BENCH_routing.json`` next to
-the routing-core numbers.  Run via ``pytest benchmarks/`` or directly:
+distribution (p50 / p99), split into cache hits and misses, plus a
+``restart_recovery`` act: the daemon is restarted on its durable cache
+directory and timed to first health (``time_to_healthy_ms``) and scored
+on how much of the prior workload it still serves warm
+(``warm_hit_rate``).  Everything merges as a ``service`` section into
+the repo-root ``BENCH_routing.json`` next to the routing-core numbers.  Run via ``pytest benchmarks/`` or directly:
 ``PYTHONPATH=src python benchmarks/bench_service.py``.
 """
 
@@ -179,15 +182,15 @@ def merge_into_root_report(section: dict) -> None:
     ROOT_REPORT.write_text(json.dumps(report, indent=1, sort_keys=True))
 
 
-def run_service_bench() -> dict:
-    socket_path = os.path.join(
-        tempfile.mkdtemp(prefix="repro-bench-svc-"), "bench.sock"
-    )
+def start_service(socket_path: str, cache_dir: str):
+    """Boot one in-process daemon; returns (client, stop) callables."""
     service = RoutingService(ServiceConfig(
         socket_path=socket_path,
         workers=WORKERS,
         queue_limit=64,  # the bench measures latency, not shedding
         cache_capacity=256,
+        cache_dir=cache_dir,
+        fsync_store=False,  # benchmark an in-memory page cache, not the disk
     ))
     exit_code = {}
     thread = threading.Thread(
@@ -204,13 +207,68 @@ def run_service_bench() -> dict:
             time.sleep(0.05)
     else:
         raise RuntimeError("bench service did not come up")
-    try:
-        raw = drive_load(client, build_workload())
-    finally:
+
+    def stop() -> object:
         client.shutdown()
         thread.join(60)
+        return exit_code.get("code")
+
+    return client, stop
+
+
+def measure_restart_recovery(socket_path: str, cache_dir: str,
+                             workload) -> dict:
+    """Restart the daemon on its durable cache and time the recovery.
+
+    Two numbers matter after a crash: how long until the service answers
+    again (``time_to_healthy_ms``, including the warm-load replay), and
+    how much of the pre-restart work it still serves from the durable
+    cache (``warm_hit_rate`` over one sequential pass of the original
+    workload).
+    """
+    started = time.perf_counter()
+    client, stop = start_service(socket_path, cache_dir)
+    time_to_healthy_s = time.perf_counter() - started
+    hits = 0
+    completed = 0
+    try:
+        store_stats = client.health()["cache"].get("store", {})
+        for _label, payload in workload:
+            try:
+                response = client.submit(payload, deadline_s=30.0)
+            except ReproError:
+                continue
+            completed += 1
+            hits += response["job"]["cache"] == "hit"
+    finally:
+        exit_code = stop()
+    return {
+        "time_to_healthy_ms": round(1e3 * time_to_healthy_s, 3),
+        "warm_loaded_entries": store_stats.get("loaded", 0),
+        "resubmitted": completed,
+        "warm_hits": hits,
+        "warm_hit_rate": round(hits / max(1, completed), 4),
+        "server_exit_code": exit_code,
+    }
+
+
+def run_service_bench() -> dict:
+    bench_dir = tempfile.mkdtemp(prefix="repro-bench-svc-")
+    socket_path = os.path.join(bench_dir, "bench.sock")
+    cache_dir = os.path.join(bench_dir, "cache")
+    workload = build_workload()
+    client, stop = start_service(socket_path, cache_dir)
+    try:
+        raw = drive_load(client, workload)
+    finally:
+        exit_code = stop()
     summary = summarise(raw)
-    summary["server_exit_code"] = exit_code.get("code")
+    summary["server_exit_code"] = exit_code
+    # Second act: a fresh daemon on the same cache directory, standing
+    # in for a crash-restart, must come up fast and serve warm.
+    summary["restart_recovery"] = measure_restart_recovery(
+        os.path.join(bench_dir, "bench-restart.sock"), cache_dir, workload
+    )
     return summary
 
 
@@ -225,7 +283,8 @@ def render(summary: dict) -> str:
          summary["misses"].get("p50_ms", "-"),
          summary["misses"].get("p99_ms", "-"), ""],
     ]
-    return format_table(
+    recovery = summary.get("restart_recovery", {})
+    table = format_table(
         ["jobs", "count", "p50 ms", "p99 ms", "jobs/s"],
         rows,
         title=(
@@ -234,6 +293,14 @@ def render(summary: dict) -> str:
             f"hit rate {100 * summary['cache_hit_rate']:.0f}%)"
         ),
     )
+    if recovery:
+        table += (
+            f"\nrestart recovery: healthy in "
+            f"{recovery['time_to_healthy_ms']:.0f} ms, "
+            f"{recovery['warm_loaded_entries']} entries warm-loaded, "
+            f"warm hit rate {100 * recovery['warm_hit_rate']:.0f}%"
+        )
+    return table
 
 
 def test_service_throughput(output_dir: Path) -> None:
@@ -250,6 +317,11 @@ def test_service_throughput(output_dir: Path) -> None:
     # hits never touch a worker, so they must be far faster than misses
     if summary["hits"]["count"] and summary["misses"]["count"]:
         assert summary["hits"]["p50_ms"] <= summary["misses"]["p50_ms"]
+    # the restarted daemon must serve the prior workload mostly warm
+    recovery = summary["restart_recovery"]
+    assert recovery["server_exit_code"] == 0
+    assert recovery["warm_loaded_entries"] >= 1
+    assert recovery["warm_hit_rate"] >= 0.5
 
 
 if __name__ == "__main__":

@@ -33,7 +33,9 @@ Structured errors map to distinct codes so scripts can react without
 parsing output: ``0`` success, ``1`` internal/verification failure,
 ``2`` bad input, ``3`` deadline hit (partial result), ``4`` infeasible
 (router exhausted every strategy), ``6`` service overloaded (job shed at
-admission), ``7`` service unreachable.  Malformed input files produce a
+admission), ``7`` service unreachable.  With ``submit --retries N`` the
+transient codes 6/7 mean the error *persisted through every retry*; the
+code always reflects the final attempt.  Malformed input files produce a
 one-line ``error:`` diagnostic on stderr, never a traceback.
 """
 
@@ -484,6 +486,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             cache_capacity=args.cache_size,
             admission_factor=args.admission_factor,
+            cache_dir=args.cache_dir,
+            reap_grace_s=args.reap_grace,
         )
     except ValueError as exc:
         raise InputError(str(exc)) from None
@@ -511,7 +515,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
     """Send one job (or a management op) to a running daemon."""
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.socket, timeout_s=args.timeout)
+    if args.retries < 0:
+        raise InputError("--retries must be non-negative")
+    if args.retry_max_wait <= 0:
+        raise InputError("--retry-max-wait must be positive")
+    client = ServiceClient(
+        args.socket,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        retry_max_wait_s=args.retry_max_wait,
+    )
     if args.health:
         print(json.dumps(client.health(), indent=2, sort_keys=True))
         return 0
@@ -710,6 +723,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed when estimated queue wait exceeds F x deadline "
         "(default: 1.0)",
     )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the canonical cache (journal + snapshot) in DIR; "
+        "a restarted daemon warm-loads it, crashes included",
+    )
+    serve.add_argument(
+        "--reap-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="kill and respawn a worker still busy this long past its "
+        "job's deadline (default: 10)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -750,7 +777,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         metavar="SECONDS",
-        help="client-side socket timeout (default: 120)",
+        help="total client-side wall budget, shared by retries "
+        "(default: 120)",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient failures (daemon unreachable/restarting, "
+        "SERVICE_OVERLOADED) up to N times with exponential backoff, "
+        "within the --timeout budget (default: 0)",
+    )
+    submit.add_argument(
+        "--retry-max-wait",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="cap on one retry backoff sleep (default: 2)",
     )
     submit.add_argument(
         "--json",

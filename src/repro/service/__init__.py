@@ -11,6 +11,9 @@ shelling out to a script:
 * :mod:`repro.service.cache` — the canonical-instance result cache
   (content-hashed under translation / mirror / net relabeling via
   :mod:`repro.netlist.canonical`);
+* :mod:`repro.service.store` — the cache's durable journal + snapshot
+  backing (``repro serve --cache-dir``): crash-safe appends, atomic
+  compaction, corruption-tolerant replay;
 * :mod:`repro.service.workers` — a sharded pool of warm worker
   processes that keeps problem builds hot across jobs;
 * :mod:`repro.service.server` — the asyncio front door: bounded job
@@ -25,9 +28,11 @@ See ``docs/SERVICE.md`` for the protocol and semantics.
 from repro.service.cache import CanonicalCache
 from repro.service.client import ServiceClient
 from repro.service.server import RoutingService, ServiceConfig
+from repro.service.store import CacheStore
 from repro.service.workers import WorkerPool
 
 __all__ = [
+    "CacheStore",
     "CanonicalCache",
     "RoutingService",
     "ServiceClient",

@@ -11,6 +11,11 @@ request exactly as a fresh routing would.
 Only ``status="complete"`` results are cached: a partial result is an
 artefact of one run's deadline, not a property of the instance.
 Eviction is plain LRU.
+
+Optionally backed by a :class:`~repro.service.store.CacheStore`: every
+store appends to an on-disk journal, so a daemon restarted on the same
+``--cache-dir`` (even after SIGKILL) serves its previously-routed
+isomorphism classes as cache hits with zero new search work.
 """
 
 from __future__ import annotations
@@ -24,26 +29,38 @@ from repro.netlist.canonical import (
     payload_from_canonical,
     payload_to_canonical,
 )
+from repro.service.store import CacheStore
 
 
 class CanonicalCache:
     """Bounded LRU of canonical result payloads, keyed by content digest.
 
     Thread-safe: the server's asyncio loop and the worker-pool threads
-    may touch it concurrently.
+    may touch it concurrently.  When ``store`` is given, entries are
+    journaled through it (its own lock serialises disk writes) and
+    :meth:`load_from_store` warm-loads a restarted daemon.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self, capacity: int = 128, store: Optional[CacheStore] = None
+    ) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.Lock()
+        # A zero-capacity cache never stores, so persistence is moot.
+        self._store = store if capacity > 0 else None
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether entries are journaled to an on-disk store."""
+        return self._store is not None
 
     def render(
         self, form: CanonicalForm, problem_payload: dict
@@ -69,7 +86,9 @@ class CanonicalCache:
     def store(self, form: CanonicalForm, payload: dict) -> bool:
         """Cache a fresh result payload (concrete space of ``form``).
 
-        Returns True when stored; incomplete results are refused.
+        Returns True when stored; incomplete results are refused.  With
+        a persistent store attached, the entry is journaled to disk
+        before this call returns.
         """
         if self.capacity == 0 or payload.get("status") != "complete":
             return False
@@ -80,14 +99,52 @@ class CanonicalCache:
             self._entries.move_to_end(form.digest)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+        if self._store is not None:
+            self._store.append(form.digest, canonical)
+            self._store.maybe_compact(self._snapshot_entries)
         return True
 
-    def stats(self) -> Dict[str, int]:
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _snapshot_entries(self) -> Dict[str, dict]:
+        with self._lock:
+            return dict(self._entries)
+
+    def load_from_store(self) -> int:
+        """Warm-load from disk; returns the number of live entries.
+
+        Replays snapshot + journal (corruption-tolerant, see
+        :mod:`repro.service.store`), trims to capacity keeping the most
+        recently journaled entries, then compacts so the next restart
+        replays one tight snapshot instead of an ever-growing journal.
+        """
+        if self._store is None:
+            return 0
+        entries = self._store.load()
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+        with self._lock:
+            self._entries = entries
+        self._store.compact(self._snapshot_entries())
+        return len(entries)
+
+    def close_store(self) -> None:
+        """Compact and release the on-disk store (clean shutdown)."""
+        if self._store is None:
+            return
+        self._store.compact(self._snapshot_entries())
+        self._store.close()
+
+    def stats(self) -> Dict[str, object]:
         """Counters for the health endpoint."""
         with self._lock:
-            return {
+            counters: Dict[str, object] = {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
             }
+        if self._store is not None:
+            counters["store"] = self._store.stats()
+        return counters

@@ -24,7 +24,10 @@ Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": {...}}``
 where the error envelope is :meth:`repro.errors.ReproError.to_dict` —
 ``kind``, ``message``, ``exit_code``, ``context`` — so callers react to
 *what* failed without parsing prose.  The ``SERVICE_OVERLOADED`` shed
-travels as ``kind="overloaded"`` with exit code 6.
+travels as ``kind="overloaded"`` with exit code 6; its context carries a
+``retry_after_s`` hint (the admission controller's estimate of when
+capacity frees up) which the retrying client honours as its minimum
+backoff.
 """
 
 from __future__ import annotations

@@ -22,6 +22,16 @@ of a response that arrives after its deadline.
 listener, let every admitted job finish and answer, stop the worker
 pool, unlink the socket and return 0 — the documented clean-shutdown
 exit code.
+
+**Crash safety.**  With ``cache_dir`` set, the canonical cache is
+backed by a journal + snapshot store (:mod:`repro.service.store`): a
+daemon killed at any instant — SIGKILL included — restarts on the same
+directory with its routed isomorphism classes warm, serving them as
+cache hits with zero new search work.  A worker wedged past its job's
+``deadline + reap_grace_s`` is killed and respawned by the pool's
+reaper; the job fails with a structured engine error and the health op
+counts the reap.  Every admission shed carries a ``retry_after_s``
+hint for the retrying client.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.netlist.io import FormatError, problem_from_dict
 from repro.netlist.problem import ProblemError, RoutingProblem
 from repro.service import protocol
 from repro.service.cache import CanonicalCache
+from repro.service.store import CacheStore
 from repro.service.workers import WorkerPool, make_executor
 
 
@@ -80,6 +91,21 @@ class ServiceConfig:
         unit, replaced by measurements as jobs complete.
     drain_timeout_s:
         Upper bound on waiting for in-flight jobs during shutdown.
+    cache_dir:
+        Directory for the durable canonical-cache store (journal +
+        snapshot, see :mod:`repro.service.store`).  ``None`` keeps the
+        cache memory-only; with a directory, a restarted daemon —
+        even one killed with SIGKILL — warm-loads its previously
+        routed isomorphism classes.
+    reap_grace_s:
+        Hung-job reaper slack: a worker still busy ``deadline_s +
+        reap_grace_s`` after its job started is killed and respawned,
+        and the job fails with a structured engine error.  Jobs with no
+        deadline are never reaped.
+    fsync_store:
+        fsync durable-store writes (power-loss safety).  Disabling it
+        still survives process crashes; tests and benchmarks disable it
+        for speed.
     """
 
     socket_path: str
@@ -91,6 +117,9 @@ class ServiceConfig:
     admission_factor: float = 1.0
     seed_cost_s: float = 5e-6
     drain_timeout_s: float = 60.0
+    cache_dir: Optional[str] = None
+    reap_grace_s: float = 10.0
+    fsync_store: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -105,6 +134,8 @@ class ServiceConfig:
             raise ValueError("cache_capacity must be non-negative")
         if self.admission_factor <= 0:
             raise ValueError("admission_factor must be positive")
+        if self.reap_grace_s < 0:
+            raise ValueError("reap_grace_s must be non-negative")
 
 
 def _cost_units(problem: RoutingProblem) -> float:
@@ -124,8 +155,15 @@ class RoutingService:
         on_event: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.config = config
-        self.cache = CanonicalCache(config.cache_capacity)
         self._on_event = on_event
+        store = None
+        if config.cache_dir is not None and config.cache_capacity > 0:
+            store = CacheStore(
+                config.cache_dir,
+                on_event=self._event,
+                fsync=config.fsync_store,
+            )
+        self.cache = CanonicalCache(config.cache_capacity, store=store)
         self._pool: Optional[WorkerPool] = None
         self._threads = None
         self._stop: Optional[asyncio.Event] = None
@@ -160,6 +198,12 @@ class RoutingService:
         self._stop = asyncio.Event()
         self._started = time.monotonic()
         await self._claim_socket()
+        if self.cache.persistent:
+            loaded = self.cache.load_from_store()
+            self._event(
+                f"cache: warm-loaded {loaded} entries from "
+                f"{self.config.cache_dir}"
+            )
         self._pool = WorkerPool(self.config.workers)
         self._threads = make_executor(self.config.queue_limit + 4)
         server = await asyncio.start_unix_server(
@@ -181,6 +225,8 @@ class RoutingService:
                 )
             self._pool.close()
             self._threads.shutdown(wait=False)
+            with contextlib.suppress(OSError):
+                self.cache.close_store()
             with contextlib.suppress(OSError):
                 os.unlink(self.config.socket_path)
             self._event("drained, exiting")
@@ -357,11 +403,18 @@ class RoutingService:
             },
         }
         shard = self._pool.shard_for(form.digest)
+        # The hung-job reaper's wall ceiling: a worker still busy this
+        # long after the job started is killed and respawned.
+        wall_ceiling_s = (
+            None
+            if deadline_s is None
+            else deadline_s + self.config.reap_grace_s
+        )
         self._pending_jobs += 1
         self._pending_cost_s += estimated_cost_s
         try:
             reply = await loop.run_in_executor(
-                self._threads, self._pool.run, shard, job
+                self._threads, self._pool.run, shard, job, wall_ceiling_s
             )
         finally:
             self._pending_jobs -= 1
@@ -385,7 +438,12 @@ class RoutingService:
         form: CanonicalForm,
         deadline_s: Optional[float],
     ):
-        """Admission control; returns (estimated cost, units) or sheds."""
+        """Admission control; returns (estimated cost, units) or sheds.
+
+        Every shed carries a ``retry_after_s`` hint — the cost model's
+        estimate of when capacity frees up — which the retrying client
+        honours as its minimum backoff.
+        """
         units = _cost_units(problem)
         estimated_cost_s = self._cost_ewma_s * units
         if self._pending_jobs >= self.config.queue_limit:
@@ -395,6 +453,13 @@ class RoutingService:
                 context={
                     "queue_depth": self._pending_jobs,
                     "queue_limit": self.config.queue_limit,
+                    "retry_after_s": self._retry_after(
+                        self._pending_cost_s
+                        / (
+                            self.config.workers
+                            * max(1, self._pending_jobs)
+                        )
+                    ),
                 },
             )
         if deadline_s is not None:
@@ -408,9 +473,18 @@ class RoutingService:
                         "estimated_wait_s": round(estimated_wait_s, 6),
                         "estimated_cost_s": round(estimated_cost_s, 6),
                         "deadline_s": deadline_s,
+                        "retry_after_s": self._retry_after(
+                            estimated_wait_s
+                            - self.config.admission_factor * deadline_s
+                        ),
                     },
                 )
         return estimated_cost_s, units
+
+    @staticmethod
+    def _retry_after(estimate_s: float) -> float:
+        """Clamp a queue-drain estimate into a sane client backoff hint."""
+        return round(min(30.0, max(0.05, estimate_s)), 6)
 
     def _finish_job(
         self,
@@ -469,6 +543,10 @@ class RoutingService:
             "workers_alive": (
                 self._pool.alive() if self._pool is not None else []
             ),
+            "pool": (
+                dict(self._pool.counters) if self._pool is not None else {}
+            ),
+            "reap_grace_s": self.config.reap_grace_s,
             "queue_depth": self._pending_jobs,
             "queue_limit": self.config.queue_limit,
             "pending_cost_s": round(self._pending_cost_s, 6),

@@ -25,12 +25,13 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EngineError, ReproError
 
@@ -39,6 +40,44 @@ WARM_PROBLEMS_PER_WORKER = 32
 
 #: How often a blocked round trip re-checks that its worker is alive.
 LIVENESS_POLL_S = 1.0
+
+#: Environment variable carrying a deterministic worker fault schedule
+#: (see :mod:`repro.testing.faults`).  Format: comma-separated
+#: ``kind@job[:arg]`` terms — ``die@2:9`` makes each worker ``_exit(9)``
+#: when it picks up its 2nd job, ``hang@3:60`` makes it sleep 60 s
+#: before executing its 3rd.  Parsed once per worker process at start;
+#: garbage terms are ignored.  This is a chaos-test hook, never set in
+#: production.
+SERVICE_FAULT_ENV = "REPRO_SERVICE_FAULTS"
+
+
+def _parse_service_faults(spec: str) -> List[Tuple[str, int, float]]:
+    """``"die@2:9,hang@3:60"`` -> ``[("die", 2, 9.0), ("hang", 3, 60.0)]``."""
+    faults = []
+    for term in spec.split(","):
+        term = term.strip()
+        if not term or "@" not in term:
+            continue
+        kind, _, rest = term.partition("@")
+        at, _, arg = rest.partition(":")
+        try:
+            faults.append((kind, int(at), float(arg) if arg else 0.0))
+        except ValueError:
+            continue
+    return faults
+
+
+def _apply_service_faults(
+    faults: List[Tuple[str, int, float]], job_index: int
+) -> None:
+    """Deliver any fault scheduled for this worker's ``job_index``-th job."""
+    for kind, at, arg in faults:
+        if job_index != at:
+            continue
+        if kind == "die":
+            os._exit(int(arg) if arg else 9)
+        elif kind == "hang":
+            time.sleep(arg if arg else 3600.0)
 
 
 def _warm_key(problem_payload: object) -> str:
@@ -122,10 +161,15 @@ def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
 def _worker_main(shard: int, requests, responses) -> None:
     """Worker process entry point: drain jobs until the None sentinel."""
     warm: "OrderedDict[str, object]" = OrderedDict()
+    faults = _parse_service_faults(os.environ.get(SERVICE_FAULT_ENV, ""))
+    jobs_seen = 0
     while True:
         job = requests.get()
         if job is None:
             break
+        jobs_seen += 1
+        if faults:
+            _apply_service_faults(faults, jobs_seen)
         reply = _execute_job(job, warm)
         reply["job_id"] = job.get("job_id")
         reply["shard"] = shard
@@ -161,6 +205,12 @@ class WorkerPool:
         for process in self._processes:
             process.start()
         self._closed = False
+        # Mutated under shard locks; read lock-free by health telemetry.
+        self.counters: Dict[str, int] = {
+            "reaped": 0,
+            "worker_deaths": 0,
+            "respawned": 0,
+        }
 
     def shard_for(self, digest: str) -> int:
         """Stable shard assignment by canonical digest."""
@@ -168,7 +218,12 @@ class WorkerPool:
             return 0
         return int(digest[:8], 16) % self.n_workers
 
-    def run(self, shard: int, job: Dict) -> Dict:
+    def run(
+        self,
+        shard: int,
+        job: Dict,
+        wall_ceiling_s: Optional[float] = None,
+    ) -> Dict:
         """Blocking round trip to one shard; returns the reply envelope.
 
         The reply always carries ``queue_wait_s`` (time spent behind
@@ -177,6 +232,13 @@ class WorkerPool:
         structured :class:`~repro.errors.EngineError` (after the shard
         is respawned) instead of blocking this job — and every later
         job of the shard — forever.
+
+        ``wall_ceiling_s`` is the hung-job reaper: a worker still busy
+        past that many seconds (the server passes job deadline + grace)
+        is killed and respawned, and this job fails with a structured
+        :class:`~repro.errors.EngineError` instead of occupying the
+        shard indefinitely.  ``None`` disables reaping (jobs with no
+        deadline are allowed to run forever, as documented).
         """
         if not 0 <= shard < self.n_workers:
             raise ValueError(f"no such shard {shard}")
@@ -186,18 +248,43 @@ class WorkerPool:
             if self._closed:
                 raise EngineError("worker pool is closed")
             self._requests[shard].put(job)
-            reply = self._await_reply(shard)
+            reply = self._await_reply(shard, wall_ceiling_s)
         reply["queue_wait_s"] = queue_wait
         return reply
 
-    def _await_reply(self, shard: int) -> Dict:
+    def _await_reply(
+        self, shard: int, wall_ceiling_s: Optional[float] = None
+    ) -> Dict:
         """Wait on one shard's response queue, watching its liveness.
 
         Caller holds the shard lock.
         """
+        started = time.monotonic()
         while True:
+            timeout = LIVENESS_POLL_S
+            if wall_ceiling_s is not None:
+                remaining = wall_ceiling_s - (time.monotonic() - started)
+                if remaining <= 0:
+                    # The reply may have landed in the last instant;
+                    # prefer it over killing a worker that finished.
+                    try:
+                        return self._responses[shard].get_nowait()
+                    except queue_module.Empty:
+                        pass
+                    self._reap(shard)
+                    raise EngineError(
+                        f"worker shard {shard} reaped: job exceeded its "
+                        f"wall ceiling",
+                        context={
+                            "shard": shard,
+                            "wall_ceiling_s": wall_ceiling_s,
+                            "reaped": True,
+                            "respawned": not self._closed,
+                        },
+                    )
+                timeout = min(LIVENESS_POLL_S, remaining)
             try:
-                return self._responses[shard].get(timeout=LIVENESS_POLL_S)
+                return self._responses[shard].get(timeout=timeout)
             except queue_module.Empty:
                 process = self._processes[shard]
                 if process.is_alive():
@@ -209,6 +296,7 @@ class WorkerPool:
                 except queue_module.Empty:
                     pass
                 exitcode = process.exitcode
+                self.counters["worker_deaths"] += 1
                 self._respawn(shard)
                 raise EngineError(
                     f"worker shard {shard} died mid-job",
@@ -218,6 +306,18 @@ class WorkerPool:
                         "respawned": not self._closed,
                     },
                 )
+
+    def _reap(self, shard: int) -> None:
+        """Kill a wedged worker and replace it.  Caller holds the lock."""
+        process = self._processes[shard]
+        if process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():  # ignoring SIGTERM: escalate
+                process.kill()
+                process.join(1.0)
+        self.counters["reaped"] += 1
+        self._respawn(shard)
 
     def _respawn(self, shard: int) -> None:
         """Replace a dead worker with a fresh process and fresh queues.
@@ -238,6 +338,7 @@ class WorkerPool:
         )
         process.start()
         self._processes[shard] = process
+        self.counters["respawned"] += 1
 
     def close(self, timeout_s: float = 5.0) -> None:
         """Stop every worker: sentinel, join, terminate stragglers."""

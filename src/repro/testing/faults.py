@@ -15,6 +15,19 @@ reproducible schedule:
   non-pin cell is overwritten with a bogus owner, exactly the class of
   bookkeeping rot the independent verifier exists to catch.
 
+The **service layer** has its own trust boundaries — worker processes,
+the wire protocol, the durable cache files — broken by a second family
+of deterministic faults:
+
+* **worker faults** (:class:`ServiceFaultPlan` / :func:`service_faults`)
+  — schedule a warm routing worker to die (``os._exit``) or wedge
+  (sleep) on exactly its Nth job, exercising the pool's dead-worker
+  respawn and the hung-job reaper;
+* **file corruption** (:func:`truncate_file`, :func:`flip_byte`) — tear
+  the tail off a cache journal the way a crash mid-append does, or flip
+  one byte the way a decaying disk does, exercising the store's
+  corruption-tolerant replay.
+
 Everything is counter-driven (no randomness, no real clocks needed — see
 :class:`StepClock`), so a chaos test that fails once fails every time.
 
@@ -28,13 +41,16 @@ Usage::
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import EngineError
 from repro.grid.routing_grid import RoutingGrid
 from repro.maze.astar import SearchResult
+from repro.service.workers import SERVICE_FAULT_ENV
 
 #: Owner id written into corrupted cells; outside any real problem's range.
 CORRUPT_OWNER = 9999
@@ -203,3 +219,103 @@ def _make_commit_wrapper(injector: FaultInjector):
         injector._after_commit(self, net_id, path)
 
     return commit_path
+
+
+# ---------------------------------------------------------------------------
+# Service-layer chaos
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic faults for the routing daemon's worker processes.
+
+    Encoded into the :data:`~repro.service.workers.SERVICE_FAULT_ENV`
+    environment variable by :func:`service_faults`; each worker process
+    parses it at start and counts its own jobs, so the schedule is
+    per-worker and exactly reproducible.  Note that a *respawned* worker
+    starts a fresh job count — schedule faults on job >= 2 when the test
+    needs the replacement worker to behave.
+
+    Attributes
+    ----------
+    die_on_job:
+        The worker calls ``os._exit(die_exit_code)`` when it picks up
+        its Nth job (1-based) — the SIGKILL-mid-job flavour.
+    die_exit_code:
+        Exit code of the scheduled death (default 9, mirroring SIGKILL).
+    hang_on_job:
+        The worker sleeps ``hang_s`` before executing its Nth job — the
+        pathological-search flavour the hung-job reaper exists for.
+    hang_s:
+        Length of the wedge; far longer than any test deadline, and cut
+        short when the reaper kills the worker.
+    """
+
+    die_on_job: Optional[int] = None
+    die_exit_code: int = 9
+    hang_on_job: Optional[int] = None
+    hang_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        for attr in ("die_on_job", "hang_on_job"):
+            value = getattr(self, attr)
+            if value is not None and value < 1:
+                raise ValueError(f"{attr} must be >= 1, got {value}")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+
+    def encode(self) -> str:
+        """The ``kind@job:arg`` wire form workers parse from the env."""
+        terms = []
+        if self.die_on_job is not None:
+            terms.append(f"die@{self.die_on_job}:{self.die_exit_code}")
+        if self.hang_on_job is not None:
+            terms.append(f"hang@{self.hang_on_job}:{self.hang_s}")
+        return ",".join(terms)
+
+
+@contextlib.contextmanager
+def service_faults(plan: ServiceFaultPlan) -> Iterator[ServiceFaultPlan]:
+    """Arm ``plan`` for every worker process started inside the block.
+
+    Workers inherit the environment at (re)spawn time, so a pool created
+    inside the block is armed and one created after it is clean.
+    """
+    previous = os.environ.get(SERVICE_FAULT_ENV)
+    os.environ[SERVICE_FAULT_ENV] = plan.encode()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(SERVICE_FAULT_ENV, None)
+        else:
+            os.environ[SERVICE_FAULT_ENV] = previous
+
+
+def truncate_file(path: str, drop_bytes: int) -> int:
+    """Tear ``drop_bytes`` off the end of ``path`` (crash mid-append).
+
+    Returns the new size.  Deterministic: the same call tears the same
+    bytes every time.
+    """
+    if drop_bytes < 0:
+        raise ValueError("drop_bytes must be non-negative")
+    size = os.path.getsize(path)
+    kept = max(0, size - drop_bytes)
+    with open(path, "rb+") as handle:
+        handle.truncate(kept)
+    return kept
+
+
+def flip_byte(path: str, offset: int, mask: int = 0x5A) -> None:
+    """XOR one byte of ``path`` at ``offset`` (deterministic bit rot)."""
+    if not 0 < mask < 256:
+        raise ValueError("mask must be in 1..255")
+    with open(path, "rb+") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        if len(byte) != 1:
+            raise ValueError(f"offset {offset} is past the end of {path}")
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ mask]))
