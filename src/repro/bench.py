@@ -214,6 +214,8 @@ def run_case(
         "connections": int(stats.connections),
         "routed": int(stats.routed_connections),
         "success": bool(success),
+        "kernel_backend": str(getattr(stats, "kernel_backend", "")),
+        "exhausted_searches": int(getattr(stats, "exhausted_searches", 0)),
     }
     if profile:
         phases = {
@@ -307,6 +309,10 @@ def run_bench(
         "quick": quick,
         "repeat": repeat,
         "workers": workers,
+        # Provenance for the wall numbers: which search-kernel backend the
+        # rows ran on.  Counters are backend-invariant by the parity gate,
+        # so only wall_s comparisons need to respect this field.
+        "kernel": rows[0].get("kernel_backend", "") if rows else "",
         "cases": rows,
         "totals": {
             "wall_s": round(sum(r["wall_s"] for r in rows), 6),

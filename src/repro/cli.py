@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -123,7 +124,33 @@ def _make_config(args: argparse.Namespace) -> MightyConfig:
             f"unknown router {args.router!r}",
             context={"choices": sorted(factories)},
         )
-    return factories[args.router]()
+    config = factories[args.router]()
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        try:
+            config = config.with_updates(kernel_backend=kernel)
+        except ValueError as exc:
+            raise InputError(str(exc)) from None
+    else:
+        _check_kernel_env()
+    return config
+
+
+def _check_kernel_env() -> None:
+    """Validate ``REPRO_KERNEL`` up front.
+
+    The variable is resolved lazily inside the router, where a bogus
+    name would surface as per-connection search failures (and a
+    misleading "infeasible" exit) instead of the input error it is.
+    """
+    from repro.maze import kernels
+
+    env = os.environ.get(kernels.ENV_VAR, "").strip()
+    if env and env != "auto" and env not in kernels.BACKEND_NAMES:
+        raise InputError(
+            f"{kernels.ENV_VAR}={env!r} names an unknown kernel backend "
+            f"(choose from {', '.join(kernels.BACKEND_NAMES)} or 'auto')"
+        )
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -197,6 +224,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     spec = _load(Path(args.file), "switchbox")
     if args.workers < 1:
         raise InputError("--workers must be >= 1")
+    _check_kernel_env()
     try:
         deadline = Deadline(args.deadline)
     except ValueError as exc:
@@ -312,8 +340,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     fmt = _detect_format(path, args.format)
     loaded = _load(path, fmt)
     if args.json:
-        print(json.dumps(_info_payload(fmt, loaded), indent=2,
-                         sort_keys=True))
+        from repro.maze.kernels import backend_info
+
+        # The problem fields come from _info_payload (shared with the
+        # service daemon's description); the kernels section is CLI-only
+        # environment diagnostics.
+        payload = dict(_info_payload(fmt, loaded))
+        payload["kernels"] = backend_info()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if fmt == "channel":
         print(f"channel {loaded.name}: {loaded.n_columns} columns, "
@@ -392,6 +426,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise InputError("--repeat must be >= 1")
     if args.workers < 1:
         raise InputError("--workers must be >= 1")
+    if args.kernel:
+        from repro.maze import kernels
+
+        try:
+            kernels.select_backend(args.kernel)
+        except (ValueError, RuntimeError) as exc:
+            raise InputError(str(exc)) from None
+        # --workers runs cases in subprocesses; they re-resolve the
+        # backend from the environment, so export the choice too.
+        os.environ[kernels.ENV_VAR] = args.kernel
+    else:
+        _check_kernel_env()
     gates = _parse_gates(args, bench.COMPARE_METRICS)
     if gates and not args.compare:
         raise InputError("--gate/--max-regression require --compare")
@@ -477,6 +523,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import RoutingService, ServiceConfig
 
+    _check_kernel_env()
     try:
         config = ServiceConfig(
             socket_path=args.socket,
@@ -624,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="partial",
         help="deadline behaviour: keep the partial result (default) or "
         "fail with a structured timeout error",
+    )
+    route.add_argument(
+        "--kernel",
+        choices=("pure", "vector", "compiled", "auto"),
+        help="search-kernel backend (default: REPRO_KERNEL or auto); "
+        "backends are bit-identical in paths and counters",
     )
     route.set_defaults(func=cmd_route)
 
@@ -873,7 +926,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar=("METRIC", "PCT"),
         help="with --compare: fail if METRIC regresses by more than PCT "
-        "percent; repeatable, so several counters can be gated at once",
+        "percent; repeatable, so several counters can be gated at once "
+        "(PCT 0 with expansions/searches is the cross-backend parity "
+        "gate: the ratio must be exactly 1.0000)",
+    )
+    bench.add_argument(
+        "--kernel",
+        choices=("pure", "vector", "compiled", "auto"),
+        help="force the search-kernel backend for every case (also "
+        "exported as REPRO_KERNEL so --workers subprocesses match); "
+        "an unavailable backend is an error, never a silent fallback",
     )
     bench.add_argument(
         "--workers",

@@ -55,7 +55,17 @@ class RouteStats:
     iterations: int = 0
     searches: int = 0
     expansions: int = 0
+    #: Searches that stopped because their ``max_expansions`` budget
+    #: tripped rather than proving no path exists.  A run that fails with
+    #: a nonzero count here may simply be under-budgeted — not
+    #: unroutable — which is why the engine's escalation reads it.
+    exhausted_searches: int = 0
     peak_journal_depth: int = 0
+    #: Name of the search-kernel backend the run used (``pure`` /
+    #: ``vector`` / ``compiled``; see :mod:`repro.maze.kernels`).  All
+    #: backends are bit-identical in counters and paths, so this is
+    #: provenance for wall-clock numbers, not a behaviour knob.
+    kernel_backend: str = ""
     elapsed_s: float = 0.0
     #: Per-phase wall split: where ``elapsed_s`` actually went.  Measured
     #: at the leaf operations so the four buckets are disjoint; whatever
@@ -90,7 +100,9 @@ class RouteStats:
         "iterations",
         "searches",
         "expansions",
+        "exhausted_searches",
         "peak_journal_depth",
+        "kernel_backend",
         "elapsed_s",
         "phase_search_s",
         "phase_connectivity_s",

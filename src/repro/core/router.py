@@ -51,6 +51,7 @@ from repro.grid.path import GridPath
 from repro.grid.routing_grid import GridError, RoutingGrid
 from repro.maze.arena import SearchArena
 from repro.maze.astar import find_path
+from repro.maze.kernels import resolve_kernel
 from repro.netlist.net import Pin
 from repro.netlist.problem import RoutingProblem
 
@@ -101,6 +102,15 @@ class MightyRouter:
         # it has been taken yet; see ``_note_best_state``.
         self._best_pending = False
         self._all_connections: List[Connection] = []
+        # Resolve the search-kernel backend once per router: config wins,
+        # then the process default (REPRO_KERNEL / auto).  Stored as a
+        # name and passed per search, so a faults-layer monkeypatch of
+        # ``find_path`` still sees an ordinary keyword argument.
+        self._kernel = resolve_kernel(self.config.kernel_backend).name
+        # Whether any search of the most recent connection attempt hit
+        # its expansion budget — read by the fail-event detail so a
+        # budget trip is never logged as plain unroutability.
+        self._last_attempt_exhausted = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -196,7 +206,13 @@ class MightyRouter:
                 continue
             if not self._route_connection(connection, queue):
                 failed.append(connection)
-                self._record("fail", connection.net_name)
+                self._record(
+                    "fail",
+                    connection.net_name,
+                    "search budget exhausted"
+                    if self._last_attempt_exhausted
+                    else "",
+                )
             self._note_best_state(all_connections)
 
         self._restore_best_state(all_connections)
@@ -209,6 +225,7 @@ class MightyRouter:
         )
         self._stats.frozen_nets = len(self._frozen)
         self._stats.peak_journal_depth = self._grid.journal_peak_depth
+        self._stats.kernel_backend = self._kernel
         self._stats.elapsed_s = time.perf_counter() - started
         self._stats.timed_out = timed_out
         if deadline is not None:
@@ -250,6 +267,7 @@ class MightyRouter:
         ]
         self._stats.phase_connectivity_s += time.perf_counter() - tick
 
+        self._last_attempt_exhausted = False
         self._stats.searches += 1
         tick = time.perf_counter()
         hard = find_path(
@@ -260,9 +278,13 @@ class MightyRouter:
             cost=self.config.cost,
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
+            kernel=self._kernel,
         )
         self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += hard.expansions
+        if hard.exhausted:
+            self._stats.exhausted_searches += 1
+            self._last_attempt_exhausted = True
         if hard.found:
             self._commit(connection, hard.path)
             self._stats.hard_routes += 1
@@ -289,9 +311,13 @@ class MightyRouter:
             net_penalties=escalation,
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
+            kernel=self._kernel,
         )
         self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += soft.expansions
+        if soft.exhausted:
+            self._stats.exhausted_searches += 1
+            self._last_attempt_exhausted = True
         if not soft.found:
             return False
         victims = self._victims_of(soft.conflict_nodes)
@@ -481,9 +507,13 @@ class MightyRouter:
             cost=self.config.cost,
             max_expansions=self.config.max_expansions_per_search,
             arena=self._arena,
+            kernel=self._kernel,
         )
         self._stats.phase_search_s += time.perf_counter() - tick
         self._stats.expansions += result.expansions
+        if result.exhausted:
+            self._stats.exhausted_searches += 1
+            self._last_attempt_exhausted = True
         if not result.found:
             return False
         self._commit(connection, result.path)

@@ -221,6 +221,11 @@ class RoutingEngine:
         record["routed"] = result.stats.routed_connections
         record["connections"] = result.stats.connections
         record["timed_out"] = result.stats.timed_out
+        # Budget-limited searches are the escalation signal that separates
+        # "proven unroutable" from "under-budgeted": later attempts scale
+        # max_expansions up, and _context reports the distinction.
+        record["exhausted_searches"] = result.stats.exhausted_searches
+        record["kernel_backend"] = result.stats.kernel_backend
         record["verified"] = bool(report.ok)
         record["elapsed_s"] = round(deadline.elapsed() - started, 6)
         if not report.ok:
@@ -304,6 +309,10 @@ class RoutingEngine:
 
     def _context(self, result, deadline):
         """Machine-readable outcome summary carried by raised errors."""
+        exhausted = sum(
+            rec.get("exhausted_searches", 0)
+            for rec in result.stats.attempt_log
+        )
         return {
             "deadline_s": deadline.budget_s,
             "elapsed_s": round(deadline.elapsed(), 6),
@@ -313,6 +322,11 @@ class RoutingEngine:
                 {c.net_name for c in result.failed}
             ),
             "attempts": len(result.stats.attempt_log),
+            # Nonzero means at least one search stopped on its expansion
+            # budget rather than proving no path: the failure may be an
+            # under-budgeted run, not an infeasible problem.
+            "exhausted_searches": exhausted,
+            "budget_limited": exhausted > 0,
         }
 
     def _empty_result(self, problem):

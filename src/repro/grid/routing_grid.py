@@ -237,6 +237,24 @@ class RoutingGrid:
         """Flat pin-ownership mirror, C-order ``(layer, y, x)``; read-only."""
         return self._pin_flat
 
+    def occ_array(self) -> np.ndarray:
+        """Read-only *flat* int32 occupancy view, C-order ``(layer, y, x)``.
+
+        The typed twin of :meth:`occ_flat` for the vector/compiled search
+        kernels: contiguous, dtype-stable, indexed by the same flat node
+        ids, and always in lock-step with the grid (it aliases the backing
+        store rather than copying it).
+        """
+        view = self._occ.reshape(-1)
+        view.flags.writeable = False
+        return view
+
+    def pin_array(self) -> np.ndarray:
+        """Read-only flat int32 pin-ownership view, C-order ``(layer, y, x)``."""
+        view = self._pin.reshape(-1)
+        view.flags.writeable = False
+        return view
+
     # ------------------------------------------------------------------
     # Change journal (transactions)
     # ------------------------------------------------------------------

@@ -96,21 +96,54 @@ def _build_neighbor_table(width: int, height: int) -> Tuple[tuple, ...]:
     return tuple(entries)
 
 
+class _NumpyPlanes:
+    """Typed scratch planes for the vector/compiled kernels.
+
+    Same generation-stamp discipline as the plain-list planes (the
+    generation counter itself lives on the owning :class:`_Planes`, so
+    mixing backends across searches stays safe: every search gets a fresh
+    generation no matter which stamp storage the previous one wrote).
+
+    ``target`` is a zeroed uint8 mask plane; kernels that use it must
+    restore it to all-zero before returning (set/clear the few target
+    indices, not a full memset).  ``path_buf`` is an int32 buffer big
+    enough for any simple path (one entry per node).
+    """
+
+    __slots__ = ("best", "parent", "stamp", "target", "path_buf")
+
+    def __init__(self, n_nodes: int) -> None:
+        import numpy as np
+
+        self.best = np.zeros(n_nodes, dtype=np.int64)
+        self.parent = np.full(n_nodes, -1, dtype=np.int32)
+        self.stamp = np.zeros(n_nodes, dtype=np.int64)
+        self.target = np.zeros(n_nodes, dtype=np.uint8)
+        self.path_buf = np.empty(n_nodes, dtype=np.int32)
+
+
 class _Planes:
     """Mutable scratch planes for one grid shape."""
 
-    __slots__ = ("best", "parent", "stamp", "generation")
+    __slots__ = ("best", "parent", "stamp", "generation", "_numpy")
 
     def __init__(self, n_nodes: int) -> None:
         self.best: List[int] = [INF] * n_nodes
         self.parent: List[int] = [-1] * n_nodes
         self.stamp: List[int] = [0] * n_nodes
         self.generation = 0
+        self._numpy = None
 
     def next_generation(self) -> int:
         """O(1) reset: values are valid only where ``stamp == generation``."""
         self.generation += 1
         return self.generation
+
+    def numpy_planes(self) -> "_NumpyPlanes":
+        """Lazily-allocated typed planes (vector/compiled kernels only)."""
+        if self._numpy is None:
+            self._numpy = _NumpyPlanes(len(self.best))
+        return self._numpy
 
 
 class SearchArena:

@@ -4,11 +4,17 @@ The searcher is the hot loop of the whole library, so it runs as a flat
 integer kernel: node ids ``idx = (layer * H + y) * W + x`` flow through the
 heap, successor moves come from the precomputed
 :func:`~repro.maze.arena.neighbor_table`, occupancy is read from the grid's
-plain-list mirror (:meth:`~repro.grid.routing_grid.RoutingGrid.occ_flat`),
-and cost/parent/visited planes are recycled from a
+flat mirrors, and cost/parent/visited planes are recycled from a
 :class:`~repro.maze.arena.SearchArena` with a generation stamp instead of a
 per-search clear.  A search therefore allocates almost nothing beyond its
 heap entries.
+
+This module is the *validating wrapper*: it checks endpoints (bounds,
+layer, source availability), prepares the query, and shapes the result.
+The inner loop itself lives in a pluggable kernel backend
+(:mod:`repro.maze.kernels`) — pure python, numpy-vectorized, or compiled —
+all bit-identical in paths, costs, and expansion counts, so the backend
+choice changes wall time only, never routing decisions.
 
 Soft-conflict mode is the crucial feature for the paper's algorithm: with
 ``allow_conflicts=True`` the searcher may walk *through* cells owned by other
@@ -23,25 +29,24 @@ which is what makes the overall control loop provably finite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.grid.path import GridPath
 from repro.grid.routing_grid import FREE, OBSTACLE, RoutingGrid
-from repro.maze.arena import SearchArena, default_arena, neighbor_table
+from repro.maze.arena import SearchArena, default_arena
 from repro.maze.cost import CostModel
+from repro.maze.kernels import resolve_kernel
+from repro.maze.kernels.pure import (
+    FIELD_MASK as _FIELD_MASK,
+    F_SHIFT as _F_SHIFT,
+    G_LIMIT as _G_LIMIT,
+    G_SHIFT as _G_SHIFT,
+    INDEX_MASK as _INDEX_MASK,
+)
 
 Node = Tuple[int, int, int]  # (x, y, layer)
 
-# Packed heap-key layout: ``(f << _F_SHIFT) | (g << _G_SHIFT) | index``.
-# Integer comparison of packed keys orders exactly like the (f, g, index)
-# tuples they replace: index gets 24 bits, g gets 28, f is open-ended at
-# the top (Python ints never overflow — f just grows past 64 bits).
-_G_SHIFT = 24
-_F_SHIFT = 52
-_INDEX_MASK = (1 << _G_SHIFT) - 1
-_FIELD_MASK = (1 << (_F_SHIFT - _G_SHIFT)) - 1
-_G_LIMIT = 1 << (_F_SHIFT - _G_SHIFT)
+__all__ = ["SearchResult", "find_path", "Node"]
 
 
 @dataclass
@@ -52,11 +57,29 @@ class SearchResult:
     cost: int = 0
     expansions: int = 0
     conflict_nodes: List[Node] = field(default_factory=list)
+    #: True when the search stopped because the ``max_expansions`` budget
+    #: tripped.  ``path is None and not exhausted`` is a *proven* no-path;
+    #: ``path is None and exhausted`` merely means the budget ran out — the
+    #: two must not be conflated when deciding a net is unroutable.
+    exhausted: bool = False
 
     @property
     def found(self) -> bool:
         """True when a path was found."""
         return self.path is not None
+
+
+def _check_node(node, width: int, height: int, role: str) -> Node:
+    """Validated ``(x, y, layer)`` ints, or :class:`ValueError`.
+
+    Layer is validated alongside x/y: a layer outside ``{0, 1}`` would
+    otherwise silently wrap through Python negative indexing (layer −1)
+    or read past the plane (layer ≥ 2) once folded into a flat index.
+    """
+    x, y, layer = int(node[0]), int(node[1]), int(node[2])
+    if not (0 <= x < width and 0 <= y < height and 0 <= layer <= 1):
+        raise ValueError(f"{role} {(x, y, layer)} out of bounds")
+    return x, y, layer
 
 
 def find_path(
@@ -70,6 +93,7 @@ def find_path(
     net_penalties: Optional[dict] = None,
     max_expansions: Optional[int] = None,
     arena: Optional[SearchArena] = None,
+    kernel: Optional[str] = None,
 ) -> SearchResult:
     """Cheapest legal walk from any source node to any target node.
 
@@ -80,9 +104,13 @@ def find_path(
     net_id:
         The net being routed; its own copper is free to traverse.
     sources:
-        Start nodes (cost 0).  Each must be free or owned by ``net_id``.
+        Start nodes (cost 0).  Each must be in bounds (including layer in
+        ``{0, 1}``) and free or owned by ``net_id``.
     targets:
-        Goal nodes; reaching any one of them ends the search.
+        Goal nodes; reaching any one of them ends the search.  Each must
+        be in bounds (including layer) — an out-of-bounds target could
+        never be reached yet would silently skew the heuristic bounding
+        box, degrading the search to a near-Dijkstra sweep.
     cost:
         Edge costs; defaults to :class:`CostModel()`.
     allow_conflicts:
@@ -95,23 +123,30 @@ def find_path(
         router escalates this with each rip-up of the net, so oft-ripped
         nets become progressively less attractive victims).
     max_expansions:
-        Safety valve; defaults to ``8 * cells``.
+        Safety valve; defaults to ``8 * cells``.  When it trips the
+        result has ``path is None`` and ``exhausted=True``.
     arena:
         Scratch arena whose planes the search reuses.  Routers pass their
         own; casual callers fall back to a thread-local shared arena.
+    kernel:
+        Kernel backend name (``pure`` / ``vector`` / ``compiled`` /
+        ``auto``); ``None`` uses the process default (see
+        :mod:`repro.maze.kernels`).
 
     Returns
     -------
     SearchResult
-        ``result.path is None`` when no walk exists.  In conflict mode,
-        ``result.conflict_nodes`` lists the foreign nodes the chosen walk
-        occupies (the modification plan's victims).
+        ``result.path is None`` when no walk exists — check
+        ``result.exhausted`` to tell a proven no-path from an expansion
+        budget trip.  In conflict mode, ``result.conflict_nodes`` lists
+        the foreign nodes the chosen walk occupies (the modification
+        plan's victims).
     """
     model = cost or CostModel()
     width, height = grid.width, grid.height
     plane = width * height
 
-    target_list = [(int(t[0]), int(t[1]), int(t[2])) for t in targets]
+    target_list = [_check_node(t, width, height, "target") for t in targets]
     if not target_list:
         raise ValueError("no targets given")
     if not sources:
@@ -123,13 +158,7 @@ def find_path(
             f"grid has {2 * plane} nodes; packed search keys support at "
             f"most {_INDEX_MASK}"
         )
-
-    occ = grid.occ_flat()
-    pin = grid.pin_flat()
-    nbrs = neighbor_table(width, height)
-    planes = (arena or default_arena()).planes(width, height)
-    best, parent, stamp = planes.best, planes.parent, planes.stamp
-    gen = planes.next_generation()
+    backend = resolve_kernel(kernel)
 
     target_idx = {
         (layer * height + y) * width + x for x, y, layer in target_list
@@ -139,26 +168,11 @@ def find_path(
     ty0 = min(t[1] for t in target_list)
     ty1 = max(t[1] for t in target_list)
 
+    occ = grid.occ_flat()
     step = model.step_cost
-    cost_rows = model.axis_cost_table
-    row0, row1 = cost_rows[0], cost_rows[1]
-    base_penalty = model.conflict_penalty
-    penalties = net_penalties or {}
-    penalties_get = penalties.get
-    frozen = frozen_nets
-    push, pop = heappush, heappop
-    # Heap entries are ``(f << _F_SHIFT) | (g << _G_SHIFT) | index`` packed
-    # into one int: plain-int heap comparisons are markedly cheaper than
-    # element-wise tuple comparisons, and the packing is order-isomorphic
-    # to the ``(f, g, index)`` tuples it replaces (pop order — and thus the
-    # expansion trace — is bit-identical).  ``_G_LIMIT`` guards the g field
-    # against overflow into f on pathological cost models.
-    frontier: List[int] = []
-
+    source_entries: List[Tuple[int, int]] = []
     for node in sources:
-        x, y, layer = int(node[0]), int(node[1]), int(node[2])
-        if not (0 <= x < width and 0 <= y < height):
-            raise ValueError(f"source {tuple(node)} out of bounds")
+        x, y, layer = _check_node(node, width, height, "source")
         index = (layer * height + y) * width + x
         owner = occ[index]
         if owner != FREE and owner != net_id:
@@ -166,69 +180,30 @@ def find_path(
                 f"source {tuple(node)} is not available to net {net_id} "
                 f"(owner {owner})"
             )
-        if stamp[index] != gen or best[index] > 0:
-            stamp[index] = gen
-            best[index] = 0
-            parent[index] = -1
-            dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
-            dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
-            push(frontier, (((dx + dy) * step) << _F_SHIFT) | index)
+        dx = (tx0 - x) if x < tx0 else (x - tx1) if x > tx1 else 0
+        dy = (ty0 - y) if y < ty0 else (y - ty1) if y > ty1 else 0
+        source_entries.append((index, (dx + dy) * step))
 
-    expansions = 0
-    goal = -1
-    goal_cost = 0
+    planes = (arena or default_arena()).planes(width, height)
+    gen = planes.next_generation()
+    goal_cost, expansions, exhausted, indices = backend.astar_search(
+        grid,
+        net_id,
+        source_entries,
+        target_idx,
+        (tx0, tx1, ty0, ty1),
+        model,
+        allow_conflicts,
+        frozen_nets,
+        net_penalties or {},
+        max_expansions,
+        planes,
+        gen,
+    )
 
-    while frontier:
-        entry = pop(frontier)
-        index = entry & _INDEX_MASK
-        g = (entry >> _G_SHIFT) & _FIELD_MASK
-        if stamp[index] != gen or best[index] != g:
-            continue  # stale entry
-        if index in target_idx:
-            goal, goal_cost = index, g
-            break
-        expansions += 1
-        if expansions > max_expansions:
-            break
-        row = row0 if index < plane else row1
-        for succ, axis, sx, sy in nbrs[index]:
-            owner = occ[succ]
-            if owner == FREE or owner == net_id:
-                extra = 0
-            elif owner == OBSTACLE or not allow_conflicts:
-                continue
-            elif owner in frozen or pin[succ] != 0:
-                continue
-            else:
-                extra = base_penalty + penalties_get(owner, 0)
-            new_g = g + row[axis] + extra
-            if stamp[succ] != gen:
-                stamp[succ] = gen
-            elif best[succ] <= new_g:
-                continue
-            best[succ] = new_g
-            parent[succ] = index
-            dx = (tx0 - sx) if sx < tx0 else (sx - tx1) if sx > tx1 else 0
-            dy = (ty0 - sy) if sy < ty0 else (sy - ty1) if sy > ty1 else 0
-            if new_g >= _G_LIMIT:
-                raise ValueError(
-                    "path cost exceeds the packed-key g field "
-                    f"({new_g} >= {_G_LIMIT})"
-                )
-            push(
-                frontier,
-                ((new_g + (dx + dy) * step) << _F_SHIFT)
-                | (new_g << _G_SHIFT)
-                | succ,
-            )
+    if indices is None:
+        return SearchResult(path=None, expansions=expansions, exhausted=exhausted)
 
-    if goal < 0:
-        return SearchResult(path=None, expansions=expansions)
-
-    indices = [goal]
-    while parent[indices[-1]] >= 0:
-        indices.append(parent[indices[-1]])
-    indices.reverse()
     nodes: List[Node] = []
     conflicts: List[Node] = []
     for index in indices:

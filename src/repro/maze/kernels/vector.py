@@ -1,0 +1,142 @@
+"""The numpy-vectorized kernel backend.
+
+Lee's wavefront is expanded a whole frontier per step: instead of popping
+one node at a time from a deque, each BFS wave is a set of flat indices
+and its successors are computed with five shifted-slice operations over
+the ``(2, height, width)`` planes (x±1, y±1, via).
+
+Bit-identical parity with the deque reference is the hard part, and it
+hinges on one observation: in the reference, wave ``d+1`` cells are
+discovered in lexicographic ``(parent's queue position, move index)``
+order, and that discovery order *is* the next wave's queue order.  So the
+kernel carries a per-wave *position plane* (queue rank of each wave cell,
+a large sentinel elsewhere), computes the candidate key
+``position * 5 + move`` for every direction, keeps the minimum per cell
+(ties are impossible — a (parent, move) pair identifies one cell), and
+orders the new wave by that key.  The winning key also encodes the parent
+pointer (``key % 5`` is the move, ``key // 5`` the parent's rank), so
+parents match the reference exactly, including cells reachable from
+several same-wave parents.  The reference's early exit on touching a
+target cannot change any of this: the retraced path only crosses earlier
+waves, whose parents are already fixed.
+
+A* is deliberately *not* vectorized here — a priority-ordered search
+expands one node per step by construction, so this backend reuses the
+pure A* loop; the ``compiled`` backend is the one that accelerates it.
+
+Asymptotics worth knowing: each wave costs O(cells) in full-plane slice
+arithmetic, so a path of W waves costs O(W · cells) versus the
+reference's O(cells) total.  The vector kernel wins when frontiers are
+wide (large, open grids) and loses on small grids with long thin paths —
+which is why ``auto`` never picks it; it is an explicit choice and a
+parity cross-check for the compiled kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.routing_grid import FREE
+from repro.maze.kernels.pure import astar_search, backtrack
+
+__all__ = ["astar_search", "lee_search"]
+
+#: Position sentinel for non-frontier cells: larger than any real queue
+#: rank, small enough that ``POS_UNSET * 5 + 4`` still fits in int64.
+POS_UNSET = 1 << 55
+#: Keys below this bound come from a real frontier parent (rank < POS_UNSET);
+#: a sentinel parent yields ``POS_UNSET * 5 + move`` which must not qualify.
+_KEY_LIMIT = POS_UNSET * 5
+_KEY_UNSET = _KEY_LIMIT + 5
+
+
+def lee_search(
+    grid,
+    net_id: int,
+    source_indices,
+    target_idx,
+    planes,
+    gen: int,
+) -> Optional[List[int]]:
+    """Whole-frontier Lee wavefront via numpy mask shifts (bit-identical)."""
+    width, height = grid.width, grid.height
+    plane = width * height
+    n = 2 * plane
+    np_planes = planes.numpy_planes()
+    stamp = np_planes.stamp
+    parent = np_planes.parent
+
+    occ = grid.occ_array()
+    passable = (occ == FREE) | (occ == net_id)
+
+    # Wave 0 replicates the reference source loop exactly: deduplicate in
+    # order, and a source that is itself a target wins immediately.
+    goal = -1
+    wave: List[int] = []
+    for index in source_indices:
+        if stamp[index] != gen:
+            stamp[index] = gen
+            parent[index] = -1
+            if index in target_idx:
+                goal = index
+                break
+            wave.append(index)
+    if goal >= 0:
+        return [int(i) for i in backtrack(parent, goal)]
+    if not wave:
+        return None
+
+    target_arr = np.fromiter(target_idx, count=len(target_idx), dtype=np.int64)
+    # Frontier-eligible cells: passable and not yet labelled this search.
+    open_flat = passable & (stamp != gen)
+    pos_flat = np.full(n, POS_UNSET, dtype=np.int64)
+    pos = pos_flat.reshape(2, height, width)
+    cand = np.empty((5, 2, height, width), dtype=np.int64)
+    wave_idx = np.asarray(wave, dtype=np.int64)
+
+    while True:
+        pos_flat[wave_idx] = np.arange(len(wave_idx), dtype=np.int64)
+        # Candidate key per direction: parent's queue rank * 5 + move
+        # index, in the reference move order x+1, x-1, y+1, y-1, via.
+        cand[:] = _KEY_UNSET
+        cand[0, :, :, 1:] = pos[:, :, :-1] * 5 + 0
+        cand[1, :, :, :-1] = pos[:, :, 1:] * 5 + 1
+        cand[2, :, 1:, :] = pos[:, :-1, :] * 5 + 2
+        cand[3, :, :-1, :] = pos[:, 1:, :] * 5 + 3
+        cand[4, 0] = pos[1] * 5 + 4
+        cand[4, 1] = pos[0] * 5 + 4
+        best_key = cand.min(axis=0).reshape(-1)
+
+        new_idx = np.flatnonzero(open_flat & (best_key < _KEY_LIMIT))
+        if new_idx.size == 0:
+            return None
+        keys = best_key[new_idx]
+        order = np.argsort(keys, kind="stable")  # keys are unique
+        new_idx = new_idx[order]
+        moves = keys[order] % 5
+
+        par = new_idx.copy()
+        par[moves == 0] -= 1
+        par[moves == 1] += 1
+        par[moves == 2] -= width
+        par[moves == 3] += width
+        via = moves == 4
+        par[via] = np.where(
+            new_idx[via] < plane, new_idx[via] + plane, new_idx[via] - plane
+        )
+
+        stamp[new_idx] = gen
+        parent[new_idx] = par
+        open_flat[new_idx] = False
+
+        hits = np.isin(new_idx, target_arr)
+        if hits.any():
+            # First target in discovery order — exactly where the
+            # reference's per-node loop would have broken off.
+            goal = int(new_idx[int(np.argmax(hits))])
+            return [int(i) for i in backtrack(parent, goal)]
+
+        pos_flat[wave_idx] = POS_UNSET
+        wave_idx = new_idx

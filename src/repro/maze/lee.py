@@ -6,19 +6,26 @@ exactly the length Lee's wavefront reports.  The algorithm is the textbook
 one — expand a wavefront of monotonically increasing labels from the
 sources, then retrace from the first labelled target — but it runs on the
 same flat-index substrate as the production searcher: integer node ids, the
-shared :func:`~repro.maze.arena.neighbor_table`, the grid's plain-list
-occupancy mirror, and label/parent planes recycled from a
+shared :func:`~repro.maze.arena.neighbor_table`, the grid's flat occupancy
+mirrors, and label/parent planes recycled from a
 :class:`~repro.maze.arena.SearchArena`.
+
+Like :func:`repro.maze.astar.find_path`, this module validates endpoints
+(bounds *and* layer, for sources and targets alike) and delegates the
+wavefront itself to a pluggable kernel backend
+(:mod:`repro.maze.kernels`): the ``vector`` backend expands the whole
+frontier per step with numpy mask shifts, producing bit-identical paths to
+the per-node deque reference.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.grid.path import GridPath
 from repro.grid.routing_grid import FREE, RoutingGrid
-from repro.maze.arena import SearchArena, default_arena, neighbor_table
+from repro.maze.arena import SearchArena, default_arena
+from repro.maze.kernels import resolve_kernel
 
 Node = Tuple[int, int, int]
 
@@ -29,69 +36,50 @@ def lee_route(
     sources: Sequence[Node],
     targets: Iterable[Node],
     arena: Optional[SearchArena] = None,
+    kernel: Optional[str] = None,
 ) -> Optional[GridPath]:
     """Shortest walk (uniform cost, vias count one step) or ``None``.
 
     Cells must be free or owned by ``net_id``; there is no conflict mode —
     Lee's router predates rip-up, which is precisely the gap the paper
-    fills.
+    fills.  Sources *and* targets must be in bounds with layer in
+    ``{0, 1}``: an out-of-bounds target used to be folded silently into a
+    wrapped or out-of-plane flat index and the search would just report
+    ``None``.
     """
+    from repro.maze.astar import _check_node
+
     width, height = grid.width, grid.height
     plane = width * height
-    target_idx = {
-        (int(t[2]) * height + t[1]) * width + t[0] for t in targets
-    }
-    if not target_idx or not sources:
+
+    target_list = [_check_node(t, width, height, "target") for t in targets]
+    if not target_list or not sources:
         raise ValueError("need at least one source and one target")
+    target_idx = {
+        (layer * height + y) * width + x for x, y, layer in target_list
+    }
 
     occ = grid.occ_flat()
-    nbrs = neighbor_table(width, height)
-    planes = (arena or default_arena()).planes(width, height)
-    parent, stamp = planes.parent, planes.stamp
-    gen = planes.next_generation()
-
-    frontier: deque = deque()
-    goal = -1
+    source_indices = []
     for node in sources:
-        x, y, layer = node[0], node[1], int(node[2])
-        if not grid.in_bounds(x, y):
-            raise ValueError(f"source {(x, y, layer)} out of bounds")
+        x, y, layer = _check_node(node, width, height, "source")
         index = (layer * height + y) * width + x
         owner = occ[index]
         if owner != FREE and owner != net_id:
             raise ValueError(
                 f"source {(x, y, layer)} not available to net {net_id}"
             )
-        if stamp[index] != gen:
-            stamp[index] = gen
-            parent[index] = -1
-            if index in target_idx:
-                goal = index
-                break
-            frontier.append(index)
+        source_indices.append(index)
 
-    while frontier and goal < 0:
-        index = frontier.popleft()
-        for succ, _axis, _sx, _sy in nbrs[index]:
-            if stamp[succ] == gen:
-                continue
-            owner = occ[succ]
-            if owner != FREE and owner != net_id:
-                continue
-            stamp[succ] = gen
-            parent[succ] = index
-            if succ in target_idx:
-                goal = succ
-                frontier.clear()
-                break
-            frontier.append(succ)
+    backend = resolve_kernel(kernel)
+    planes = (arena or default_arena()).planes(width, height)
+    gen = planes.next_generation()
+    indices = backend.lee_search(
+        grid, net_id, source_indices, target_idx, planes, gen
+    )
 
-    if goal < 0:
+    if indices is None:
         return None
-    indices = [goal]
-    while parent[indices[-1]] >= 0:
-        indices.append(parent[indices[-1]])
-    indices.reverse()
     nodes = []
     for index in indices:
         layer, rest = divmod(index, plane)

@@ -266,8 +266,10 @@ class TestRouteStatsSerialization:
         payload = stats.as_dict()
         assert "attempt_log" not in payload
         assert set(payload) == set(RouteStats.SCALAR_FIELDS)
+        # Scalars only: numbers, bools, None, and short strings (the
+        # kernel-backend name) — never lists/dicts/objects.
         assert all(
-            value is None or isinstance(value, (int, float, bool))
+            value is None or isinstance(value, (int, float, bool, str))
             for value in payload.values()
         )
         # A fresh dict, not a live view of the instance.

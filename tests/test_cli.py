@@ -186,6 +186,26 @@ class TestStructuredErrors:
         assert main(["verify", str(path)]) == 2
         assert capsys.readouterr().err.startswith("error:")
 
+    def test_bogus_kernel_env_exit_2(self, channel_file, monkeypatch, capsys):
+        """A bad REPRO_KERNEL must be a loud input error on every routing
+        command — resolved lazily it used to surface as per-connection
+        search failures and a misleading infeasible exit."""
+        from repro.maze import kernels
+
+        monkeypatch.setenv(kernels.ENV_VAR, "warp9")
+        kernels._reset_for_tests()
+        try:
+            for argv in (
+                ["route", str(channel_file)],
+                ["bench", "--only", "chan-simple"],
+            ):
+                assert main(argv) == 2
+                err = capsys.readouterr().err
+                assert err.startswith("error:")
+                assert "REPRO_KERNEL" in err and "Traceback" not in err
+        finally:
+            kernels._reset_for_tests()
+
 
 class TestResilientFlags:
     def test_deadline_partial_exit_3(self, channel_file, capsys):

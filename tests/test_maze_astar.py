@@ -73,6 +73,26 @@ class TestHardMode:
         )
         assert not result.found
         assert result.expansions <= 4
+        assert result.exhausted  # budget trip, not a proven no-path
+
+    def test_proven_no_path_is_not_exhausted(self, grid):
+        for y in range(grid.height):
+            grid.set_obstacle(4, y)
+        result = find_path(grid, 1, [(0, 0, 0)], [(9, 0, 0)])
+        assert not result.found and not result.exhausted
+
+    @pytest.mark.parametrize("layer", [-1, 2])
+    def test_bad_layer_raises(self, grid, layer):
+        with pytest.raises(ValueError, match="out of bounds"):
+            find_path(grid, 1, [(0, 0, layer)], [(5, 5, 0)])
+        with pytest.raises(ValueError, match="out of bounds"):
+            find_path(grid, 1, [(0, 0, 0)], [(5, 5, layer)])
+
+    def test_out_of_bounds_target_raises(self, grid):
+        """Formerly folded into a wrapped flat index and reported no-path
+        (while silently skewing the heuristic bounding box)."""
+        with pytest.raises(ValueError, match="target"):
+            find_path(grid, 1, [(0, 0, 0)], [(99, 0, 0)])
 
 
 class TestSoftMode:

@@ -45,6 +45,19 @@ class TestBasics:
         with pytest.raises(ValueError):
             lee_route(grid, 1, [(0, 0, 0)], [])
 
+    @pytest.mark.parametrize("layer", [-1, 2])
+    def test_bad_layer_raises(self, grid, layer):
+        with pytest.raises(ValueError, match="out of bounds"):
+            lee_route(grid, 1, [(0, 0, layer)], [(5, 5, 0)])
+        with pytest.raises(ValueError, match="out of bounds"):
+            lee_route(grid, 1, [(0, 0, 0)], [(5, 5, layer)])
+
+    def test_out_of_bounds_target_raises(self, grid):
+        """Formerly folded into a wrapped flat index: the wavefront just
+        flooded the grid and reported no-path for a malformed query."""
+        with pytest.raises(ValueError, match="target"):
+            lee_route(grid, 1, [(0, 0, 0)], [(0, 99, 0)])
+
 
 class TestObstacles:
     def test_detours_around_wall(self, grid):

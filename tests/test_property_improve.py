@@ -39,8 +39,13 @@ def test_improvement_wire_never_grows(seed):
     spec = random_switchbox(12, 9, 10, seed=seed, fill=0.7)
     problem = spec.to_problem()
     result = route_problem(problem)
-    before = layout_metrics(problem, result.grid).wire_cells
+    before = layout_metrics(problem, result.grid)
     improve_routing(result, passes=2)
-    after = layout_metrics(problem, result.grid).wire_cells
-    # cost is monotone; wire cells follow because step costs dominate
-    assert after <= before + 2  # vias<->wire trades allow tiny wobble
+    after = layout_metrics(problem, result.grid)
+    # Cost is monotone, but wire cells alone are not: with the default model
+    # (step=1, via=4, wrong_way=2) removing one via funds up to four extra
+    # wire steps at equal-or-lower cost, and a wrong-way -> with-grain trade
+    # frees two more.  Bound the growth by what the via trades could have
+    # paid for, plus a small wobble for wrong-way trades.
+    vias_saved = max(0, before.via_count - after.via_count)
+    assert after.wire_cells <= before.wire_cells + 4 * vias_saved + 2
