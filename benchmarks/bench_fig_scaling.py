@@ -119,6 +119,58 @@ def test_fig_convergence(benchmark):
         assert series.peak_open > 0
 
 
+def test_fig_shard_scaling(benchmark):
+    """The shard-and-stitch figure: a 500-net region routed whole vs in
+    four halo-padded shards.  Wall speedup is machine-dependent and only
+    emitted; the asserted gates are the deterministic ones — both runs
+    succeed and verify clean, sharding does the search work of a fraction
+    of the whole-region run, and stitched wirelength never regresses."""
+    import time
+
+    from repro.analysis.metrics import layout_metrics
+    from repro.analysis.verify import verify_result
+    from repro.core.shard import route_problem_sharded
+    from repro.netlist.generators import deutsch_class_region
+
+    problem = deutsch_class_region()
+
+    def kernel():
+        return route_problem_sharded(problem, shards=4)
+
+    sharded = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    plain_started = time.perf_counter()
+    plain = route_problem(deutsch_class_region())
+    plain_wall = time.perf_counter() - plain_started
+
+    plain_report = verify_result(plain.problem, plain)
+    sharded_report = verify_result(sharded.problem, sharded)
+    plain_wire = layout_metrics(plain.problem, plain.grid).wire_cells
+    sharded_wire = layout_metrics(sharded.problem, sharded.grid).wire_cells
+    speedup = plain_wall / max(sharded.stats.elapsed_s, 1e-9)
+    emit(
+        format_table(
+            ["pipeline", "shards", "expansions", "wire cells", "seconds"],
+            [
+                ["whole-region", 1, plain.stats.expansions, plain_wire,
+                 round(plain_wall, 3)],
+                ["shard+stitch", sharded.stats.shards,
+                 sharded.stats.expansions, sharded_wire,
+                 round(sharded.stats.elapsed_s, 3)],
+            ],
+            title="Figure E4c — shard-and-stitch on a 500-net region",
+        )
+    )
+    emit(f"wall speedup: {speedup:.2f}x with {sharded.stats.shards} shards")
+    assert plain.success and sharded.success
+    assert plain_report.ok and sharded_report.ok
+    assert sharded.stats.shards == 4
+    # Halo-bounded shard searches prune most of the whole-region work;
+    # this ratio is deterministic, unlike the wall clock.
+    assert sharded.stats.expansions <= 0.6 * plain.stats.expansions
+    assert sharded_wire <= plain_wire
+
+
 def test_termination_under_stress(benchmark):
     """Dense, probably-infeasible scatter boxes must still halt quickly —
     the bound is the theorem's, not luck."""

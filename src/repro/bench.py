@@ -76,6 +76,7 @@ def bench_cases() -> List[BenchCase]:
         burstein_class_switchbox,
         dense_class_switchbox,
         deutsch_class_channel,
+        deutsch_class_region,
         random_channel,
         random_switchbox,
         woven_region_problem,
@@ -172,6 +173,12 @@ def bench_cases() -> List[BenchCase]:
                 quick,
             )
         )
+    # The 500+ net shard-and-stitch case: a Deutsch-difficult-shaped large
+    # region where single-core routing visibly hurts and `--shards 4`
+    # visibly wins (see PERFORMANCE.md §7).
+    cases.append(
+        BenchCase("scale-stitch-560", "scaling", deutsch_class_region)
+    )
     return cases
 
 
@@ -180,6 +187,7 @@ def run_case(
     config: Optional[MightyConfig] = None,
     repeat: int = 1,
     profile: bool = False,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Route ``case`` ``repeat`` times; wall time is the best (min) run.
 
@@ -189,20 +197,40 @@ def run_case(
     connectivity, victim analysis, claims bookkeeping — measured at the
     leaf operations, so the buckets are disjoint; ``other`` is the
     remainder against the run's ``elapsed_s``).
+
+    ``shards > 1`` routes through the shard-and-stitch pipeline
+    (:func:`repro.core.shard.route_problem_sharded`); cases the
+    partitioner rejects fall back to whole-region routing, so their
+    counters match the ``shards=1`` row exactly.  The row's ``shards``
+    field reports what actually happened (1 on fallback).  Every row also
+    carries the ground-truth quality metrics the shard gates compare:
+    ``wirelength`` (net-owned wire cells) and ``verified`` (the
+    :mod:`repro.analysis.verify` verdict).
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     best_wall = float("inf")
-    stats = None
-    success = False
+    result = None
+    problem = None
     for _ in range(repeat):
         problem = case.build()
         started = time.perf_counter()
-        result = route_problem(problem, config)
+        if shards > 1:
+            from repro.core.shard import route_problem_sharded
+
+            result = route_problem_sharded(problem, config, shards=shards)
+        else:
+            result = route_problem(problem, config)
         wall = time.perf_counter() - started
         best_wall = min(best_wall, wall)
-        stats = result.stats
-        success = result.success
+    stats = result.stats
+    from repro.analysis.metrics import layout_metrics
+    from repro.analysis.verify import verify_result
+
+    wirelength = layout_metrics(problem, result.grid).wire_cells
+    verified = verify_result(problem, result).ok
     row: Dict[str, object] = {
         "name": case.name,
         "group": case.group,
@@ -213,10 +241,15 @@ def run_case(
         "iterations": int(stats.iterations),
         "connections": int(stats.connections),
         "routed": int(stats.routed_connections),
-        "success": bool(success),
+        "success": bool(result.success),
         "kernel_backend": str(getattr(stats, "kernel_backend", "")),
         "exhausted_searches": int(getattr(stats, "exhausted_searches", 0)),
+        "wirelength": int(wirelength),
+        "verified": bool(verified),
+        "shards": int(stats.shards or 1),
     }
+    if stats.shard_log:
+        row["shard_log"] = stats.shard_log
     if profile:
         phases = {
             "search_s": round(stats.phase_search_s, 6),
@@ -237,6 +270,7 @@ def _run_case_by_name(
     config: Optional[MightyConfig],
     repeat: int,
     profile: bool,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Process-pool work unit: rebuild the case from the registry.
 
@@ -247,7 +281,9 @@ def _run_case_by_name(
     case = next((c for c in bench_cases() if c.name == name), None)
     if case is None:
         raise ValueError(f"unknown benchmark case {name!r}")
-    return run_case(case, config=config, repeat=repeat, profile=profile)
+    return run_case(
+        case, config=config, repeat=repeat, profile=profile, shards=shards
+    )
 
 
 def run_bench(
@@ -258,6 +294,7 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
     profile: bool = False,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Run the suite and return the JSON-ready report dict.
 
@@ -285,7 +322,13 @@ def run_bench(
             if progress is not None:
                 progress(f"bench {case.name} ...")
             rows.append(
-                run_case(case, config=config, repeat=repeat, profile=profile)
+                run_case(
+                    case,
+                    config=config,
+                    repeat=repeat,
+                    profile=profile,
+                    shards=shards,
+                )
             )
     else:
         from concurrent.futures import ProcessPoolExecutor
@@ -293,7 +336,12 @@ def run_bench(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    _run_case_by_name, case.name, config, repeat, profile
+                    _run_case_by_name,
+                    case.name,
+                    config,
+                    repeat,
+                    profile,
+                    shards,
                 )
                 for case in selected
             ]
@@ -309,6 +357,7 @@ def run_bench(
         "quick": quick,
         "repeat": repeat,
         "workers": workers,
+        "shards": shards,
         # Provenance for the wall numbers: which search-kernel backend the
         # rows ran on.  Counters are backend-invariant by the parity gate,
         # so only wall_s comparisons need to respect this field.
@@ -318,6 +367,7 @@ def run_bench(
             "wall_s": round(sum(r["wall_s"] for r in rows), 6),
             "expansions": sum(r["expansions"] for r in rows),
             "searches": sum(r["searches"] for r in rows),
+            "wirelength": sum(r["wirelength"] for r in rows),
         },
     }
 
@@ -327,7 +377,10 @@ def run_bench(
 # ----------------------------------------------------------------------
 #: Metrics ``compare_reports`` understands.  ``wall_s`` is only meaningful
 #: on one machine; ``expansions``/``searches`` are machine-independent.
-COMPARE_METRICS = ("wall_s", "expansions", "searches")
+#: ``wirelength`` is the routed-quality metric the shard-matrix CI job
+#: gates at 0% — a shard-and-stitch run must never produce more wire than
+#: the single-core route of the same suite.
+COMPARE_METRICS = ("wall_s", "expansions", "searches", "wirelength")
 
 
 def compare_reports(

@@ -178,11 +178,15 @@ def cmd_route(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise InputError(str(exc)) from None
+    if args.shards < 1:
+        raise InputError("--shards must be >= 1")
     engine = RoutingEngine(engine_config, router_config=_make_config(args))
     result = engine.route(
         problem,
         channel_spec=channel_spec if resilient else None,
         tracks=tracks,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     # The fallback cascade may have extended the channel; judge the result
     # against the problem it actually solved.
@@ -426,6 +430,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise InputError("--repeat must be >= 1")
     if args.workers < 1:
         raise InputError("--workers must be >= 1")
+    if args.shards < 1:
+        raise InputError("--shards must be >= 1")
     if args.kernel:
         from repro.maze import kernels
 
@@ -448,6 +454,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         progress=lambda line: print(line, file=sys.stderr),
         workers=args.workers,
         profile=args.profile,
+        shards=args.shards,
     )
     totals = report["totals"]
     print(
@@ -535,6 +542,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             admission_factor=args.admission_factor,
             cache_dir=args.cache_dir,
             reap_grace_s=args.reap_grace,
+            shard_oversized=args.shard_oversized,
         )
     except ValueError as exc:
         raise InputError(str(exc)) from None
@@ -583,11 +591,14 @@ def cmd_submit(args: argparse.Namespace) -> int:
         raise InputError("submit needs a problem file "
                          "(or --health/--shutdown)")
     payload = _problem_payload_from_file(args)
+    if args.shards < 0:
+        raise InputError("--shards must be non-negative")
     response = client.submit(
         payload,
         deadline_s=args.deadline,
         max_attempts=args.max_attempts,
         no_cache=args.no_cache,
+        shards=args.shards or None,
     )
     result = response["result"]
     job = response["job"]
@@ -677,6 +688,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("pure", "vector", "compiled", "auto"),
         help="search-kernel backend (default: REPRO_KERNEL or auto); "
         "backends are bit-identical in paths and counters",
+    )
+    route.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="slice the region into N halo-padded shards, route them "
+        "concurrently and stitch; the result is deterministic for a "
+        "fixed N, and unshardable instances fall back to whole-region "
+        "routing (default: 1)",
+    )
+    route.add_argument(
+        "--shard-workers",
+        type=int,
+        metavar="N",
+        help="process-pool size for shard routing (default: one per "
+        "busy shard, capped at the CPU count); any value yields the "
+        "same result",
     )
     route.set_defaults(func=cmd_route)
 
@@ -790,6 +819,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill and respawn a worker still busy this long past its "
         "job's deadline (default: 10)",
     )
+    serve.add_argument(
+        "--shard-oversized",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route a job whose own cost estimate exceeds its deadline "
+        "budget through the shard-and-stitch pipeline with N shards "
+        "instead of letting it burn the budget whole-region "
+        "(0 disables; default: 0)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -824,6 +863,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the canonical-instance cache for this job",
+    )
+    submit.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="ask the daemon to route this job with N shards "
+        "(default: the daemon decides via --shard-oversized)",
     )
     submit.add_argument(
         "--timeout",
@@ -908,10 +955,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--metric",
-        choices=("wall_s", "expansions", "searches"),
+        choices=("wall_s", "expansions", "searches", "wirelength"),
         default="wall_s",
-        help="comparison metric; expansions/searches are deterministic "
-        "and machine-independent (default: wall_s)",
+        help="comparison metric; expansions/searches/wirelength are "
+        "deterministic and machine-independent (default: wall_s)",
     )
     bench.add_argument(
         "--max-regression",
@@ -950,6 +997,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record the router's per-phase wall split (search, "
         "connectivity, victims, claims) in each case row",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route every case through the shard-and-stitch pipeline "
+        "with N shards; cases the partitioner rejects fall back to "
+        "whole-region routing (default: 1)",
     )
     bench.set_defaults(func=cmd_bench)
 

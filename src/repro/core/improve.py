@@ -14,7 +14,7 @@ is kept empty (pure wirelength savings).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Collection, List, Optional
 
 from repro.core.decompose import Connection
 from repro.core.result import RouteResult
@@ -69,6 +69,7 @@ def improve_routing(
     cost: Optional[CostModel] = None,
     passes: int = 2,
     arena: Optional[SearchArena] = None,
+    only: Optional[Collection[Connection]] = None,
 ) -> ImprovementStats:
     """Run the improvement phase on a finished :class:`RouteResult`.
 
@@ -76,11 +77,18 @@ def improve_routing(
     statistics.  Connections that failed to route are left untouched.
     Total cost is guaranteed non-increasing.  One search arena is shared
     by every reroute attempt of the pass.
+
+    ``only`` restricts the pass to a subset of the result's connections
+    (identity membership) — the shard-and-stitch pipeline uses this to
+    polish just the boundary band instead of re-touching shard interiors.
+    Cost accounting still covers every connection, so the monotonicity
+    guarantee is unchanged.
     """
     if passes < 0:
         raise ValueError("passes must be non-negative")
     model = cost or CostModel()
     arena = arena or SearchArena()
+    scope = None if only is None else set(id(c) for c in only)
     grid = result.grid
     stats = ImprovementStats(
         cost_before=sum(
@@ -106,6 +114,8 @@ def improve_routing(
     for _ in range(passes):
         improved_this_pass = 0
         for connection in _by_descending_cost(result.connections, model):
+            if scope is not None and id(connection) not in scope:
+                continue
             if not connection.routed or connection.path is None:
                 continue
             old_path = connection.path
@@ -127,21 +137,27 @@ def improve_routing(
                 stats.removed_redundant += 1
                 improved_this_pass += 1
                 continue
+            sources = [
+                tuple(n)
+                for n in grid.component_nodes(connection.net_id, source_node)
+            ]
+            targets = [
+                tuple(n)
+                for n in grid.component_nodes(connection.net_id, target_node)
+            ]
+            if not sources or not targets:
+                # A pre-routed (fixed) connection's endpoints are path
+                # ends, not reserved pins; lifting its copper can leave an
+                # endpoint with no component at all.  Nothing to reroute
+                # from/to — keep the original path.
+                grid.commit_path(connection.net_id, old_path)
+                connection.path = old_path
+                continue
             candidate = find_path(
                 grid,
                 connection.net_id,
-                [
-                    tuple(n)
-                    for n in grid.component_nodes(
-                        connection.net_id, source_node
-                    )
-                ],
-                [
-                    tuple(n)
-                    for n in grid.component_nodes(
-                        connection.net_id, target_node
-                    )
-                ],
+                sources,
+                targets,
                 cost=model,
                 arena=arena,
             )

@@ -81,7 +81,19 @@ class RouteStats:
     #: canonical-instance cache instead of being routed; the counters
     #: above then describe the cached run, not new work.
     cache_hit: bool = False
+    #: Number of spatial shards the run was split into (0 when the
+    #: shard-and-stitch pipeline was not involved, 1 when it fell back to
+    #: whole-region routing).  When > 1 the counters above are pipeline
+    #: totals — shard work plus stitch work — and ``shard_log`` holds the
+    #: per-shard split.
+    shards: int = 0
     attempt_log: List[Dict] = field(default_factory=list)
+    #: One JSON-compatible record per shard (plus a final ``stage:
+    #: "stitch"`` record) when the run went through
+    #: :func:`repro.core.shard.route_problem_sharded`: core/halo slabs,
+    #: per-shard wall and search counters, and the kernel backend each
+    #: shard worker resolved.
+    shard_log: List[Dict] = field(default_factory=list)
 
     #: The scalar fields serialized by :meth:`as_dict`.  An explicit
     #: whitelist — NOT ``self.__dict__`` — so telemetry/benchmark JSON has
@@ -111,6 +123,7 @@ class RouteStats:
         "timed_out",
         "deadline_s",
         "cache_hit",
+        "shards",
     )
 
     def as_dict(self) -> Dict[str, float]:

@@ -130,6 +130,8 @@ class RoutingEngine:
         channel_spec: Optional[ChannelSpec] = None,
         tracks: Optional[int] = None,
         pre_routed: Optional[dict] = None,
+        shards: int = 1,
+        shard_workers: Optional[int] = None,
     ) -> RouteResult:
         """Route ``problem`` through the cascade; never raises by default.
 
@@ -140,6 +142,13 @@ class RoutingEngine:
         committed paths and is how a checkpointed partial result is resumed
         (see :func:`repro.core.serialize.load_checkpoint`).
 
+        ``shards > 1`` tries the shard-and-stitch pipeline first (skipped
+        when resuming from ``pre_routed`` — the checkpoint already fixes
+        the copper layout).  A shard run that fails, crashes, or does not
+        verify is telemetry, not an outcome: the engine falls through to
+        the whole-region Mighty cascade, so every robustness guarantee of
+        the unsharded engine still holds.
+
         Returns the best :class:`RouteResult` seen: ``status="complete"``
         on success, ``"partial"`` when something routed, ``"failed"`` when
         nothing did.  ``result.stats.attempt_log`` records every stage.
@@ -148,6 +157,18 @@ class RoutingEngine:
         attempt_log: List[dict] = []
         best: Optional[RouteResult] = None
         timed_out = False
+
+        if shards > 1 and pre_routed is None:
+            result, record = self._run_shard_attempt(
+                problem, shards, shard_workers, deadline
+            )
+            attempt_log.append(record)
+            if result is not None:
+                timed_out = timed_out or result.stats.timed_out
+                if self._better(result, best):
+                    best = result
+                if result.success and record["verified"]:
+                    return self._finish(best, attempt_log, deadline)
 
         for attempt, config in enumerate(
             escalation_schedule(
@@ -224,6 +245,62 @@ class RoutingEngine:
         # Budget-limited searches are the escalation signal that separates
         # "proven unroutable" from "under-budgeted": later attempts scale
         # max_expansions up, and _context reports the distinction.
+        record["exhausted_searches"] = result.stats.exhausted_searches
+        record["kernel_backend"] = result.stats.kernel_backend
+        record["verified"] = bool(report.ok)
+        record["elapsed_s"] = round(deadline.elapsed() - started, 6)
+        if not report.ok:
+            record["error"] = report.summary()
+        return result, record
+
+    def _run_shard_attempt(self, problem, shards, workers, deadline):
+        """One supervised shard-and-stitch run; crashes become telemetry.
+
+        The attempt record carries the resolved shard count (1 when the
+        partitioner fell back), the per-shard ``shard_log`` — including
+        the kernel backend every shard worker actually ran — and the
+        verification verdict that gates acceptance.
+        """
+        from repro.core.shard import route_problem_sharded
+
+        started = deadline.elapsed()
+        config = self.router_config
+        if self.config.max_expansions_per_search is not None:
+            config = config.with_updates(
+                max_expansions_per_search=(
+                    self.config.max_expansions_per_search
+                )
+            )
+        record = {
+            "stage": "shard",
+            "attempt": 0,
+            "ordering": config.ordering,
+            "shards": shards,
+            "routed": 0,
+            "connections": 0,
+            "timed_out": False,
+            "verified": False,
+            "elapsed_s": 0.0,
+            "error": "",
+        }
+        try:
+            result = route_problem_sharded(
+                problem,
+                config,
+                shards=shards,
+                workers=workers,
+                deadline=deadline,
+            )
+        except Exception as exc:  # supervised: a crash is telemetry
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            record["elapsed_s"] = round(deadline.elapsed() - started, 6)
+            return None, record
+        report = verify_result(problem, result)
+        record["shards"] = result.stats.shards
+        record["shard_log"] = result.stats.shard_log
+        record["routed"] = result.stats.routed_connections
+        record["connections"] = result.stats.connections
+        record["timed_out"] = result.stats.timed_out
         record["exhausted_searches"] = result.stats.exhausted_searches
         record["kernel_backend"] = result.stats.kernel_backend
         record["verified"] = bool(report.ok)

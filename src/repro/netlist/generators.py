@@ -210,6 +210,34 @@ def deutsch_class_channel(seed: int = 1976) -> ChannelSpec:
     )
 
 
+def deutsch_class_region(
+    seed: int = 11,
+    n_columns: int = 560,
+    n_nets: int = 500,
+    target_density: int = 16,
+    slack_tracks: int = 3,
+) -> "RoutingProblem":
+    """A Deutsch-difficult-*shaped* large region: long, thin, 500+ nets.
+
+    The same window-localised pin statistics as
+    :func:`deutsch_class_channel` scaled up ~7× in nets — the single-core
+    pain case for the shard-and-stitch pipeline (localised nets mean
+    congestion-guided vertical cuts sever very few of them).  Lowered to a
+    general region problem with ``density + slack_tracks`` tracks; the
+    slack keeps the instance feasible-in-practice at this scale while
+    leaving it congested enough that rip-up still fires.
+    """
+    spec = random_channel(
+        n_columns=n_columns,
+        n_nets=n_nets,
+        seed=seed,
+        fill=0.85,
+        target_density=target_density,
+        name=f"deutsch-region-{n_columns}x{n_nets}-s{seed}",
+    )
+    return spec.to_problem(tracks=spec.density + slack_tracks)
+
+
 # ----------------------------------------------------------------------
 # Switchboxes
 # ----------------------------------------------------------------------

@@ -106,6 +106,16 @@ class ServiceConfig:
         fsync durable-store writes (power-loss safety).  Disabling it
         still survives process crashes; tests and benchmarks disable it
         for speed.
+    shard_oversized:
+        When >= 2, a job whose *own* estimated cost exceeds its
+        deadline budget — one that would previously be admitted only to
+        time out, or shed outright under a tight ``admission_factor`` —
+        is routed through the shard-and-stitch pipeline with this many
+        shards instead of whole-region routing.  Shard routing runs
+        inside the warm worker (daemonic workers cannot fork), so the
+        win is the pipeline's algorithmic one: halo-bounded searches do
+        a fraction of the whole-region work.  0 (the default) disables
+        oversized-job sharding.
     """
 
     socket_path: str
@@ -120,6 +130,7 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     reap_grace_s: float = 10.0
     fsync_store: bool = True
+    shard_oversized: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -136,6 +147,8 @@ class ServiceConfig:
             raise ValueError("admission_factor must be positive")
         if self.reap_grace_s < 0:
             raise ValueError("reap_grace_s must be non-negative")
+        if self.shard_oversized < 0 or self.shard_oversized == 1:
+            raise ValueError("shard_oversized must be 0 (off) or >= 2")
 
 
 def _cost_units(problem: RoutingProblem) -> float:
@@ -181,6 +194,7 @@ class RoutingService:
             "failed": 0,
             "shed": 0,
             "cache_hits": 0,
+            "sharded": 0,
         }
         self._expansions_total = 0
 
@@ -390,6 +404,23 @@ class RoutingService:
                 )
 
         estimated_cost_s, units = self._admit(problem, form, deadline_s)
+        # Oversized-job sharding: when the job's *own* cost estimate
+        # eats its whole deadline budget, whole-region routing would
+        # likely just time out.  Route it through the shard-and-stitch
+        # pipeline instead of shedding or burning the budget.  An
+        # explicit client ``shards`` option always wins.
+        shards = int(options.get("shards") or 0)
+        if shards < 0:
+            raise InputError("shards must be non-negative")
+        if (
+            not shards
+            and self.config.shard_oversized >= 2
+            and deadline_s is not None
+            and estimated_cost_s > self.config.admission_factor * deadline_s
+        ):
+            shards = self.config.shard_oversized
+        if shards > 1:
+            self._counters["sharded"] += 1
         job_id = self._job_seq = self._job_seq + 1
         job = {
             "job_id": job_id,
@@ -400,6 +431,7 @@ class RoutingService:
                 "max_attempts": options.get(
                     "max_attempts", self.config.max_attempts
                 ),
+                "shards": shards if shards > 1 else 1,
             },
         }
         shard = self._pool.shard_for(form.digest)
@@ -425,6 +457,7 @@ class RoutingService:
         response = self._finish_job(
             form, reply, received, job_id, shard, estimated_cost_s, units,
             cache_allowed=cache_allowed,
+            shards=job["options"]["shards"],
         )
         if cache_allowed:  # store off-loop too (deep-copies the payload)
             await loop.run_in_executor(
@@ -496,6 +529,7 @@ class RoutingService:
         estimated_cost_s: float,
         units: float,
         cache_allowed: bool,
+        shards: int = 1,
     ) -> dict:
         worker_wall_s = float(reply.get("worker_wall_s", 0.0))
         if reply.get("ok") and worker_wall_s > 0 and units > 0:
@@ -511,6 +545,7 @@ class RoutingService:
             job_id=job_id,
             estimated_cost_s=estimated_cost_s,
             warm_problem=bool(reply.get("warm_problem")),
+            shards=shards,
             total_s=time.perf_counter() - received,
         )
         if not reply.get("ok"):

@@ -131,7 +131,14 @@ def _execute_job(job: Dict, warm: "OrderedDict[str, object]") -> Dict:
                 enable_fallback=False,
             )
         )
-        result = engine.route(problem)
+        # shard_workers=1 always: warm workers are daemonic processes
+        # and cannot fork a shard pool; the pipeline's in-process mode
+        # keeps the result bit-identical to any worker count anyway.
+        result = engine.route(
+            problem,
+            shards=int(options.get("shards", 1) or 1),
+            shard_workers=1,
+        )
         payload = result_to_dict(result)
         payload["stats"]["cache_hit"] = False
         return {

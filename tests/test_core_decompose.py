@@ -1,6 +1,15 @@
-"""Unit tests for net decomposition."""
+"""Unit tests for net decomposition and spatial partitioning."""
+
+import pytest
 
 from repro.core import decompose_net, decompose_problem
+from repro.core.decompose import (
+    MIN_CORE_SPAN,
+    choose_cuts,
+    partition_axis,
+    partition_problem,
+    shard_subproblem,
+)
 from repro.grid import Layer
 from repro.netlist import Net, Pin, RoutingProblem
 
@@ -87,3 +96,130 @@ class TestDecomposeProblem:
         b = decompose_problem(problem)[0]
         assert a != b  # distinct objects even with equal contents
         assert len({a, b}) == 2
+
+
+def _vertical_net(name, x, y0=1, y1=6):
+    return Net(name, (Pin(x, y0), Pin(x, y1)))
+
+
+def _clustered_problem():
+    """Two well-separated clusters on a 40x8 fabric (clean cut at x=20)."""
+    nets = [_vertical_net(f"L{i}", 2 + i) for i in range(5)]
+    nets += [_vertical_net(f"R{i}", 30 + i) for i in range(5)]
+    return RoutingProblem(40, 8, nets=nets, name="clustered")
+
+
+class TestPartitionProblem:
+    def test_axis_prefers_longer_extent(self):
+        assert partition_axis(RoutingProblem(40, 8)) == "x"
+        assert partition_axis(RoutingProblem(8, 40)) == "y"
+
+    def test_cores_tile_the_axis(self):
+        problem = _clustered_problem()
+        plan = partition_problem(problem, 2)
+        assert plan is not None
+        assert plan.axis == "x"
+        assert plan.shards[0].core[0] == 0
+        assert plan.shards[-1].core[1] == problem.width
+        for left, right in zip(plan.shards, plan.shards[1:]):
+            assert left.core[1] == right.core[0]
+
+    def test_cut_avoids_congestion(self):
+        # The congestion estimate should slide the cut off the cluster
+        # gap's edges; with the clusters at x<7 and x>=30, any cut in
+        # the guidance window crosses zero nets and the tie-break picks
+        # the equal-area position.
+        problem = _clustered_problem()
+        plan = partition_problem(problem, 2)
+        assert plan.cuts == (20,)
+
+    def test_halo_overlap_is_twice_the_halo(self):
+        plan = partition_problem(_clustered_problem(), 2, halo=3)
+        left, right = plan.shards
+        assert left.halo[1] - right.halo[0] == 2 * 3
+        # Cores stay disjoint; only halos overlap.
+        assert left.core[1] == right.core[0]
+
+    def test_net_with_pins_on_cut_goes_to_upper_shard(self):
+        nets = _clustered_problem().nets + [_vertical_net("ON_CUT", 20)]
+        problem = RoutingProblem(40, 8, nets=nets, name="on-cut")
+        plan = partition_problem(problem, 2)
+        assert plan is not None
+        assert plan.cuts == (20,)
+        # Cores are half-open [c, next): a bbox sitting exactly on the
+        # cut belongs to the right/upper shard.
+        assert plan.shard_for_net("ON_CUT") == 1
+
+    def test_empty_middle_shard(self):
+        nets = [_vertical_net(f"L{i}", 2 + i) for i in range(5)]
+        nets += [_vertical_net(f"R{i}", 40 + i) for i in range(5)]
+        problem = RoutingProblem(48, 8, nets=nets, name="gap")
+        plan = partition_problem(problem, 3)
+        assert plan is not None
+        assert len(plan.shards) == 3
+        assert plan.shards[1].net_names == ()
+        assert len(plan.busy_shards) == 2
+        assert shard_subproblem(problem, plan, plan.shards[1]) is None
+
+    def test_single_pin_nets_are_neither_assigned_nor_cross(self):
+        nets = _clustered_problem().nets + [Net("stub", (Pin(20, 3),))]
+        problem = RoutingProblem(40, 8, nets=nets, name="stub")
+        plan = partition_problem(problem, 2)
+        assert plan is not None
+        assert plan.shard_for_net("stub") is None
+        assert "stub" not in plan.cross_nets
+
+    def test_cross_dominated_partition_rejected(self):
+        # Every net spans nearly the whole axis: no shard can own any
+        # of them, so sharding would push all the work to the stitch
+        # pass — the partitioner must refuse.
+        nets = [
+            Net(f"w{i}", (Pin(1, 1 + i % 6), Pin(38, 1 + i % 6)))
+            for i in range(6)
+        ]
+        problem = RoutingProblem(40, 8, nets=nets, name="wide")
+        assert partition_problem(problem, 2) is None
+
+    def test_extent_too_small_rejected(self):
+        problem = RoutingProblem(
+            2 * MIN_CORE_SPAN - 1,
+            4,
+            nets=[_vertical_net("a", 1, 0, 3)],
+        )
+        assert choose_cuts(problem, 2) is None
+        assert partition_problem(problem, 2) is None
+
+    def test_invalid_halo_raises(self):
+        with pytest.raises(ValueError):
+            partition_problem(_clustered_problem(), 2, halo=0)
+
+    def test_plan_is_deterministic(self):
+        problem = _clustered_problem()
+        assert partition_problem(problem, 2) == partition_problem(problem, 2)
+
+    def test_subproblem_keeps_absolute_coordinates(self):
+        problem = _clustered_problem()
+        plan = partition_problem(problem, 2)
+        sub = shard_subproblem(problem, plan, plan.shards[1])
+        assert sub is not None
+        assert (sub.width, sub.height) == (problem.width, problem.height)
+        assert {net.name for net in sub.nets} == set(
+            plan.shards[1].net_names
+        )
+        # The routable region is the halo slab, in parent coordinates.
+        rects = sub.region.to_rects()
+        assert min(rect.x0 for rect in rects) == plan.shards[1].halo[0]
+        assert max(rect.x1 for rect in rects) == plan.shards[1].halo[1]
+
+    def test_foreign_pins_become_obstacles(self):
+        nets = _clustered_problem().nets + [_vertical_net("ON_CUT", 20)]
+        problem = RoutingProblem(40, 8, nets=nets, name="on-cut")
+        plan = partition_problem(problem, 2)
+        # ON_CUT belongs to shard 1 but its pins sit inside shard 0's
+        # halo slab; shard 0 must treat those cells as blocked.
+        sub = shard_subproblem(problem, plan, plan.shards[0])
+        blocked = {
+            (obstacle.rect.x0, obstacle.rect.y0)
+            for obstacle in sub.obstacles
+        }
+        assert (20, 1) in blocked and (20, 6) in blocked
